@@ -1,0 +1,40 @@
+// Reproduces Fig. 3: CDF of per-step Next latency across the (synthetic)
+// fleet, plus the headline quantiles the paper reports in §3.1.
+#include <cstdio>
+
+#include "src/fleet/fleet_sim.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace plumber;
+  std::printf("==== Figure 3: fleet Next-latency CDF ====\n");
+  FleetModelOptions options;
+  options.num_jobs = 200000;
+  const auto jobs = SimulateFleet(options);
+
+  const std::vector<double> points = {10e-6, 50e-6, 100e-6, 500e-6, 1e-3,
+                                      5e-3,  10e-3, 50e-3,  100e-3, 500e-3,
+                                      1.0,   5.0};
+  Table table({"latency", "CDF (frac jobs <=)", "frac jobs >"});
+  for (const auto& [latency, cdf] : FleetLatencyCdf(jobs, points)) {
+    char label[32];
+    if (latency < 1e-3) {
+      std::snprintf(label, sizeof(label), "%.0fus", latency * 1e6);
+    } else if (latency < 1.0) {
+      std::snprintf(label, sizeof(label), "%.0fms", latency * 1e3);
+    } else {
+      std::snprintf(label, sizeof(label), "%.0fs", latency);
+    }
+    table.AddRow({label, Table::Num(cdf, 3), Table::Num(1 - cdf, 3)});
+  }
+  table.Print();
+
+  const FleetSummary s = SummarizeFleet(jobs);
+  std::printf("\nHeadline quantiles (paper: 92%% / 62%% / 16%%):\n");
+  Table headline({"threshold", "measured frac above", "paper"});
+  headline.AddRow({"50us", Table::Num(s.frac_above_50us, 3), "0.92"});
+  headline.AddRow({"1ms", Table::Num(s.frac_above_1ms, 3), "0.62"});
+  headline.AddRow({"100ms", Table::Num(s.frac_above_100ms, 3), "0.16"});
+  headline.Print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 4: CPU vs memory-bandwidth utilization of jobs,
+// bucketed by pipeline latency. The paper's claim (Observation 2): jobs
+// with latency >= 100ms average ~11% CPU and ~18% memory bandwidth, so
+// input bottlenecks are rooted in software, not hardware saturation.
+#include <cstdio>
+
+#include "src/fleet/fleet_sim.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace plumber;
+  std::printf("==== Figure 4: fleet utilization clusters ====\n");
+  FleetModelOptions options;
+  options.num_jobs = 200000;
+  const auto jobs = SimulateFleet(options);
+
+  struct Band {
+    const char* label;
+    double lo, hi;
+    RunningStat cpu, membw;
+    int64_t count = 0;
+  };
+  std::vector<Band> bands = {
+      {"< 50us (not input-bound)", 0, 50e-6, {}, {}, 0},
+      {"50us - 100ms (software bottleneck)", 50e-6, 100e-3, {}, {}, 0},
+      {">= 100ms (severely input-bound)", 100e-3, 1e9, {}, {}, 0},
+  };
+  for (const auto& job : jobs) {
+    for (auto& band : bands) {
+      if (job.next_latency_s >= band.lo && job.next_latency_s < band.hi) {
+        band.cpu.Add(job.cpu_utilization);
+        band.membw.Add(job.membw_utilization);
+        ++band.count;
+      }
+    }
+  }
+  Table table({"latency band", "jobs", "mean CPU util", "mean mem-bw util",
+               "CPU p90"});
+  for (auto& band : bands) {
+    QuantileSketch q;
+    for (const auto& job : jobs) {
+      if (job.next_latency_s >= band.lo && job.next_latency_s < band.hi) {
+        q.Add(job.cpu_utilization);
+      }
+    }
+    table.AddRow({band.label, std::to_string(band.count),
+                  Table::Num(band.cpu.mean(), 3),
+                  Table::Num(band.membw.mean(), 3),
+                  Table::Num(q.Quantile(0.9), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference: jobs with >=100ms latency average ~11%% CPU and\n"
+      "~18%% memory bandwidth; the majority of jobs do not saturate the "
+      "host.\n");
+  return 0;
+}

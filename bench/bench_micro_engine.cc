@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks for the pipeline engine: per-Next
+// overhead, stats accounting cost, operator throughput, element copies.
+#include <benchmark/benchmark.h>
+
+#include "src/pipeline/graph_builder.h"
+#include "src/pipeline/pipeline.h"
+#include "src/util/busy_work.h"
+
+namespace plumber {
+namespace {
+
+struct EngineFixture {
+  SimFilesystem fs;
+  UdfRegistry udfs;
+
+  EngineFixture() {
+    for (int f = 0; f < 4; ++f) {
+      std::vector<uint64_t> sizes(5000, 128);
+      (void)fs.CreateRecordFile("data/f" + std::to_string(f), f + 1,
+                                std::move(sizes));
+    }
+    UdfSpec noop;
+    noop.name = "noop";
+    (void)udfs.Register(noop);
+  }
+
+  PipelineOptions Options(bool tracing) {
+    PipelineOptions options;
+    options.fs = &fs;
+    options.udfs = &udfs;
+    options.tracing_enabled = tracing;
+    return options;
+  }
+};
+
+GraphDef SimpleChain(int parallelism) {
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("m", n, "noop", parallelism);
+  n = b.Repeat("r", n, -1);
+  return std::move(b.Build(n)).value();
+}
+
+void BM_NextCallTraced(benchmark::State& state) {
+  EngineFixture fx;
+  auto pipeline = std::move(
+                      Pipeline::Create(SimpleChain(1), fx.Options(true)))
+                      .value();
+  auto iterator = std::move(pipeline->MakeIterator()).value();
+  Element e;
+  bool end;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iterator->GetNext(&e, &end));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NextCallTraced);
+
+void BM_NextCallUntraced(benchmark::State& state) {
+  EngineFixture fx;
+  auto pipeline = std::move(
+                      Pipeline::Create(SimpleChain(1), fx.Options(false)))
+                      .value();
+  auto iterator = std::move(pipeline->MakeIterator()).value();
+  Element e;
+  bool end;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iterator->GetNext(&e, &end));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NextCallUntraced);
+
+void BM_ParallelMapThroughput(benchmark::State& state) {
+  EngineFixture fx;
+  auto pipeline =
+      std::move(Pipeline::Create(SimpleChain(static_cast<int>(state.range(0))),
+                                 fx.Options(true)))
+          .value();
+  auto iterator = std::move(pipeline->MakeIterator()).value();
+  Element e;
+  bool end;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iterator->GetNext(&e, &end));
+  }
+  state.SetItemsProcessed(state.iterations());
+  pipeline->Cancel();
+}
+BENCHMARK(BM_ParallelMapThroughput)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_GraphSerializeParse(benchmark::State& state) {
+  const GraphDef g = SimpleChain(4);
+  for (auto _ : state) {
+    auto parsed = GraphDef::Parse(g.Serialize());
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_GraphSerializeParse);
+
+void BM_BurnCalibration(benchmark::State& state) {
+  const int64_t ns = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BurnCpuNanos(ns));
+  }
+}
+BENCHMARK(BM_BurnCalibration)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ElementClone(benchmark::State& state) {
+  Element e = Element::FromBuffer(Buffer(state.range(0), 7));
+  for (auto _ : state) {
+    Element copy = e.Clone();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ElementClone)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace plumber
+
+BENCHMARK_MAIN();

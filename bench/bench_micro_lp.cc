@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks for the analysis layer: simplex
+// solves, closed-form allocation, model building from traces.
+#include <benchmark/benchmark.h>
+
+#include "src/lp/maximin_allocator.h"
+#include "src/lp/simplex.h"
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+std::vector<MaxMinStage> RandomStages(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MaxMinStage> stages;
+  for (int i = 0; i < n; ++i) {
+    MaxMinStage s;
+    s.name = "s" + std::to_string(i);
+    s.rate_per_core = 0.5 + rng.UniformDouble() * 20;
+    s.sequential = rng.Bernoulli(0.3);
+    stages.push_back(s);
+  }
+  return stages;
+}
+
+void BM_MaxMinClosedForm(benchmark::State& state) {
+  const auto stages = RandomStages(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMaxMin(stages, 96));
+  }
+}
+BENCHMARK(BM_MaxMinClosedForm)->Arg(8)->Arg(64);
+
+void BM_SimplexAllocation(benchmark::State& state) {
+  const auto stages = RandomStages(static_cast<int>(state.range(0)), 42);
+  LpProblem lp;
+  const int t = lp.AddVariable("t", 1.0);
+  std::vector<std::pair<int, double>> budget;
+  for (const auto& stage : stages) {
+    const int theta = lp.AddVariable(
+        "theta_" + stage.name, 0.0,
+        stage.sequential ? 1.0 : std::numeric_limits<double>::infinity());
+    lp.AddConstraint({{t, 1.0}, {theta, -stage.rate_per_core}},
+                     ConstraintSense::kLe, 0.0);
+    budget.push_back({theta, 1.0});
+  }
+  lp.AddConstraint(budget, ConstraintSense::kLe, 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSimplex(lp));
+  }
+}
+BENCHMARK(BM_SimplexAllocation)->Arg(8)->Arg(32);
+
+void BM_SimplexTextbook(benchmark::State& state) {
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 3.0);
+  const int y = lp.AddVariable("y", 5.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLe, 4);
+  lp.AddConstraint({{y, 2.0}}, ConstraintSense::kLe, 12);
+  lp.AddConstraint({{x, 3.0}, {y, 2.0}}, ConstraintSense::kLe, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSimplex(lp));
+  }
+}
+BENCHMARK(BM_SimplexTextbook);
+
+}  // namespace
+}  // namespace plumber
+
+BENCHMARK_MAIN();

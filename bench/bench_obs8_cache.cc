@@ -1,0 +1,153 @@
+// Reproduces §5.3 (Observation 8): memory / cache-size estimation.
+//   1. Source dataset sizes: Plumber's estimate vs ground truth for
+//      every dataset (paper: exact for full sweeps).
+//   2. Subsampling: tracing only ~1% of files (by stopping early) still
+//      estimates the dataset size within a few percent.
+//   3. Materialized sizes: decode amplification (~6x for ImageNet-style
+//      decode) and the MultiBoxSSD filter's <1% reduction, with error
+//      decreasing as tracing time grows.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/datagen.h"
+
+using namespace plumber;
+using namespace plumber::bench;
+
+namespace {
+
+PipelineModel TraceWorkload(WorkloadEnv& env, const GraphDef& graph,
+                            double seconds, int64_t max_batches = 0) {
+  auto pipeline = std::move(Pipeline::Create(
+                                graph, env.MakePipelineOptions()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = seconds;
+  topts.max_batches = max_batches;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  pipeline->Cancel();
+  return std::move(PipelineModel::Build(trace, &env.udfs)).value();
+}
+
+void SourceSizes() {
+  PrintHeader("Obs. 8: source dataset size estimates (full sweep)");
+  Table table({"dataset", "true bytes", "estimated", "rel err"});
+  for (const auto& [workload_name, prefix] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"resnet18", "imagenet/train-"},
+           {"rcnn", "coco/train-"},
+           {"transformer", "wmt17/train-"},
+           {"gnmt", "wmt16/train-"}}) {
+    WorkloadEnv env;
+    auto workload = std::move(MakeWorkload(workload_name)).value();
+    const double truth =
+        static_cast<double>(DatasetBytes(env.fs, prefix));
+    // Long trace sweeps the whole (scaled) dataset at least once.
+    const GraphDef tuned = HeuristicConfiguration(workload.graph, 16);
+    const PipelineModel model = TraceWorkload(env, tuned, 2.0);
+    const auto est = model.EstimateSourceSizes().at(prefix);
+    const double err = std::abs(est.estimated_bytes - truth) / truth;
+    table.AddRow({prefix, Table::Num(truth, 0),
+                  Table::Num(est.estimated_bytes, 0),
+                  Table::Num(100 * err, 2) + "%"});
+  }
+  table.Print();
+}
+
+void Subsampling() {
+  PrintHeader("Obs. 8: subsampled size estimation (early-stopped traces)");
+  Table table({"dataset", "batches traced", "files seen", "rel err"});
+  for (const int64_t batches : {2, 5, 10, 40}) {
+    WorkloadEnv env;
+    auto workload = std::move(MakeWorkload("resnet18")).value();
+    const double truth =
+        static_cast<double>(DatasetBytes(env.fs, "imagenet/train-"));
+    const PipelineModel model = TraceWorkload(
+        env, NaiveConfiguration(workload.graph), 5.0, batches);
+    const auto est = model.EstimateSourceSizes().at("imagenet/train-");
+    const double err = std::abs(est.estimated_bytes - truth) / truth;
+    table.AddRow({"imagenet/train-", std::to_string(batches),
+                  std::to_string(est.files_seen) + "/" +
+                      std::to_string(est.files_total),
+                  Table::Num(100 * err, 2) + "%"});
+  }
+  table.Print();
+  std::printf("Paper reference: 1%% of files -> ~1%% relative error.\n");
+}
+
+void Materialization() {
+  PrintHeader("Obs. 8: materialized-size estimates vs tracing time");
+  // ResNet unfused: decode amplifies bytes ~6x; the estimate of the
+  // decoded dataset should approach 6x the source size as tracing time
+  // grows (paper: 6% error at 60s, <1% at 2min on full-size data).
+  Table table({"trace budget", "est decode bytes", "true-ish (6x src)",
+               "rel err", "ssd filter keep"});
+  for (const double seconds : {0.1, 0.25, 0.5, 1.5}) {
+    WorkloadEnv env;
+    auto resnet = std::move(MakeWorkload("resnet18")).value();
+    const double source_truth =
+        64 * 120 * 1100.0;  // payload bytes (approx; excludes framing)
+    const PipelineModel model = TraceWorkload(
+        env, HeuristicConfiguration(resnet.graph, 16), seconds);
+    const NodeModel* decode = model.Find("decode");
+    const double est = decode != nullptr ? decode->materialized_bytes : 0;
+    const double truth = 6.0 * source_truth;
+    const double err = std::abs(est - truth) / truth;
+
+    // MultiBoxSSD filter reduction, same budget.
+    WorkloadEnv ssd_env;
+    auto ssd = std::move(MakeWorkload("multibox_ssd")).value();
+    const PipelineModel ssd_model = TraceWorkload(
+        ssd_env, HeuristicConfiguration(ssd.graph, 16), seconds);
+    const NodeModel* filter = ssd_model.Find("filter");
+    const NodeModel* ssd_decode = ssd_model.Find("decode");
+    double keep = 0;
+    if (filter != nullptr && ssd_decode != nullptr &&
+        ssd_decode->completions > 0) {
+      keep = static_cast<double>(filter->completions) /
+             ssd_decode->completions;
+    }
+    table.AddRow({Table::Num(seconds, 2) + "s", Table::Num(est, 0),
+                  Table::Num(truth, 0), Table::Num(100 * err, 1) + "%",
+                  Table::Num(100 * keep, 1) + "%"});
+  }
+  table.Print();
+  std::printf(
+      "Paper reference: decode amplification ~6x; filter reduces the\n"
+      "dataset by <1%%; error decreases with tracing time.\n");
+}
+
+void CachePlacements() {
+  PrintHeader("Obs. 8: cache placement across memory budgets (resnet18)");
+  WorkloadEnv env;
+  auto workload = std::move(MakeWorkload("resnet18")).value();
+  const PipelineModel model = TraceWorkload(
+      env, HeuristicConfiguration(workload.graph, 16), 1.0);
+  Table table({"memory budget", "cache decision", "materialized bytes"});
+  for (const double mb : {0.5, 2.0, 10.0, 60.0, 120.0}) {
+    CachePlanOptions copts;
+    copts.memory_bytes = static_cast<uint64_t>(mb * 1e6);
+    const CacheDecision decision = PlanCache(model, copts);
+    table.AddRow({Table::Num(mb, 1) + " MB",
+                  decision.feasible ? decision.node : "(none fits)",
+                  decision.feasible
+                      ? Table::Num(decision.materialized_bytes, 0)
+                      : "-"});
+  }
+  table.Print();
+  std::printf(
+      "Expected: tiny budgets fit nothing; mid budgets cache the source\n"
+      "(paper: 148GB at the data source); large budgets cache decoded\n"
+      "images (paper: 793GB of a true 842GB).\n");
+}
+
+}  // namespace
+
+int main() {
+  SourceSizes();
+  Subsampling();
+  Materialization();
+  CachePlacements();
+  return 0;
+}

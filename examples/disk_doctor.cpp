@@ -1,0 +1,65 @@
+// Diagnoses an I/O-bound pipeline: profiles the training directory's
+// parallelism -> bandwidth curve (the fio-equivalent), feeds it to the
+// LP, and reports whether the pipeline is disk- or compute-bound and
+// the minimal read parallelism that sustains peak rate (paper §4.3
+// "Disk" + §5.2).
+#include <cstdio>
+
+#include "src/core/plumber.h"
+#include "src/io/io_profiler.h"
+#include "src/util/table.h"
+#include "src/workloads/workloads.h"
+
+using namespace plumber;
+
+int main() {
+  // A throttled "cloud" store: 8 MB/s aggregate, 1 MB/s per stream —
+  // single-stream readers leave 7/8 of the bandwidth on the table.
+  StorageDevice device(DeviceSpec::CloudStorage(8e6, 1e6));
+  WorkloadEnv env(&device);
+  auto workload = std::move(MakeWorkload("resnet18")).value();
+  const MachineSpec machine = MachineSpec::SetupA();
+
+  // 1. Profile the training directory like fio would.
+  IoProfileOptions popts;
+  popts.parallelism_levels = {1, 2, 4, 8, 12};
+  popts.seconds_per_probe = 0.15;
+  const IoProfileResult profile =
+      ProfileReadBandwidth(&env.fs, workload.dataset_prefix, popts);
+  std::printf("parallelism -> bandwidth curve: %s\n",
+              profile.parallelism_to_bandwidth.ToString().c_str());
+  std::printf("max bandwidth %.1f MB/s, saturating parallelism ~%.0f\n\n",
+              profile.max_bandwidth / 1e6, profile.min_parallelism_for_max);
+  device.ResetCounters();
+  env.fs.ClearReadLog();
+
+  // 2. Trace the pipeline and solve the LP with the disk constraint.
+  auto pipeline = std::move(Pipeline::Create(
+                                workload.graph,
+                                env.MakePipelineOptions(machine.cpu_scale)))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 0.4;
+  topts.machine = machine;
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  pipeline->Cancel();
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+
+  LpPlanOptions lp;
+  lp.disk_bandwidth = profile.max_bandwidth;
+  lp.io_curve = profile.parallelism_to_bandwidth;
+  const LpPlan plan = PlanAllocation(model, lp);
+
+  Table table({"quantity", "value"});
+  table.AddRow({"I/O cost (bytes/minibatch)",
+                Table::Num(model.DiskBytesPerMinibatch(), 0)});
+  table.AddRow({"CPU-bound rate (mb/s)", Table::Num(plan.cpu_bound_rate, 1)});
+  table.AddRow({"disk-bound rate (mb/s)",
+                Table::Num(plan.disk_bound_rate, 1)});
+  table.AddRow({"predicted rate (mb/s)", Table::Num(plan.predicted_rate, 1)});
+  table.AddRow({"binding resource", plan.disk_limited ? "disk" : "CPU"});
+  table.AddRow({"suggested read parallelism",
+                std::to_string(plan.suggested_io_parallelism)});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// inspect_workload: a diagnosis walk-through for any built-in workload.
+//
+// Usage: inspect_workload [workload]   (default: resnet_linear)
+//
+// Demonstrates the full Plumber loop on one workload:
+//   1. run the Plumber optimizer on every signature-equivalent variant,
+//   2. print the optimizer's decisions (LP allocation, prefetch buffer,
+//      cache placement) and its pass log,
+//   3. measure the optimized pipelines against the naive and heuristic
+//      configurations,
+//   4. print a traced per-node breakdown of the heuristic configuration
+//      so the bottleneck is visible in the raw statistics.
+//
+// This is the programmatic equivalent of the paper's "what is my
+// pipeline doing and what would Plumber change" workflow (§4.1).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/core/plumber.h"
+#include "src/pipeline/ops.h"
+#include "src/tuners/tuner.h"
+#include "src/workloads/datagen.h"
+#include "src/workloads/workloads.h"
+
+using namespace plumber;
+
+namespace {
+
+double Measure(const Workload& workload, const GraphDef& graph,
+               const MachineSpec& machine, const char* label) {
+  StorageDevice device(workload.storage);
+  WorkloadEnv env(&device);
+  auto pipeline_or = Pipeline::Create(
+      graph, env.MakePipelineOptions(machine.cpu_scale, machine.memory_bytes));
+  if (!pipeline_or.ok()) return 0;
+  auto iterator = std::move((*pipeline_or)->MakeIterator()).value();
+  RunOptions warmup;
+  warmup.max_seconds = 1.2;
+  warmup.model_step_seconds = workload.ModelStepSeconds();
+  RunIterator(iterator.get(), warmup);
+  RunOptions ropts;
+  ropts.max_seconds = 0.8;
+  ropts.model_step_seconds = workload.ModelStepSeconds();
+  const RunResult result = RunIterator(iterator.get(), ropts);
+  (*pipeline_or)->Cancel();
+  std::printf("  %-24s %8.1f minibatches/s\n", label,
+              result.batches_per_second);
+  return result.batches_per_second;
+}
+
+void PrintTunedNodes(const GraphDef& graph) {
+  for (const auto& node : graph.nodes()) {
+    const long long par = node.GetInt(kAttrParallelism, 1);
+    const long long buf = node.GetInt(kAttrBufferSize, 0);
+    if (par > 1 || node.op == "cache" || node.op == "prefetch") {
+      std::printf("    %-22s op=%-16s parallelism=%-3lld buffer=%lld\n",
+                  node.name.c_str(), node.op.c_str(), par, buf);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "resnet_linear";
+  auto workload_or = MakeWorkload(name);
+  if (!workload_or.ok()) {
+    std::fprintf(stderr, "unknown workload %s; available:", name.c_str());
+    for (const auto& n : AllWorkloadNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  Workload workload = std::move(workload_or).value();
+  MachineSpec machine = MachineSpec::SetupC(kMemoryScale);
+  machine.num_cores = std::min(
+      96, static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::printf("workload=%s cores=%d memory=%.1fMB model_step=%.2fms\n",
+              name.c_str(), machine.num_cores, machine.memory_bytes / 1e6,
+              workload.ModelStepSeconds() * 1e3);
+
+  // Optimize every pick_best variant and show the decisions.
+  for (size_t v = 0; v < workload.variants.size(); ++v) {
+    StorageDevice device(workload.storage);
+    WorkloadEnv env(&device);
+    OptimizeOptions options;
+    options.machine = machine;
+    options.pipeline_options =
+        env.MakePipelineOptions(machine.cpu_scale, machine.memory_bytes);
+    options.trace_seconds = 0.25;
+    options.evaluate_warmup_seconds = 0.8;
+    options.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
+    PlumberOptimizer optimizer(options);
+    auto result = optimizer.Optimize(workload.variants[v]);
+    if (!result.ok()) {
+      std::printf("variant %zu: optimization failed: %s\n", v,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("variant %zu: LP rate=%.1f cache=%s\n", v,
+                result->plan.predicted_rate,
+                result->cache.feasible ? result->cache.node.c_str() : "none");
+    for (const auto& line : result->log) std::printf("    %s\n", line.c_str());
+    PrintTunedNodes(result->graph);
+    Measure(workload, result->graph, machine,
+            ("plumber variant " + std::to_string(v)).c_str());
+  }
+
+  Measure(workload, NaiveConfiguration(workload.graph), machine, "naive");
+  Measure(workload, HeuristicConfiguration(workload.graph, machine.num_cores),
+          machine, "heuristic");
+
+  // Traced per-node breakdown of the heuristic configuration: the raw
+  // statistics Plumber's analysis layer consumes.
+  StorageDevice device(workload.storage);
+  WorkloadEnv env(&device);
+  auto pipeline = std::move(Pipeline::Create(
+                                HeuristicConfiguration(workload.graph,
+                                                       machine.num_cores),
+                                env.MakePipelineOptions(machine.cpu_scale)))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 0.5;
+  topts.machine = machine;
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  pipeline->Cancel();
+  std::printf("heuristic trace: %.1f minibatches/s over %.2fs\n",
+              trace.observed_rate, trace.wall_seconds);
+  for (const auto& st : trace.stats) {
+    if (st.elements_produced == 0) continue;
+    std::printf("  %-22s %-18s par=%-3d produced=%-8llu cpu_us/el=%-8.1f"
+                " bytes/el=%.0f\n",
+                st.name.c_str(), st.op.c_str(), st.parallelism,
+                static_cast<unsigned long long>(st.elements_produced),
+                st.cpu_ns / 1e3 / st.elements_produced,
+                static_cast<double>(st.bytes_produced) / st.elements_produced);
+  }
+  return 0;
+}

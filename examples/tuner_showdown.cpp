@@ -1,0 +1,106 @@
+// Compares the four tuning policies on one workload: Naive, HEURISTIC,
+// AUTOTUNE (M/M/1/k + hill climbing), and Plumber (LP + prefetch +
+// cache). Usage: tuner_showdown [workload] (default multibox_ssd).
+#include <cstdio>
+#include <string>
+
+#include "src/core/plumber.h"
+#include "src/tuners/autotune.h"
+#include "src/tuners/tuner.h"
+#include "src/util/table.h"
+#include "src/workloads/workloads.h"
+
+using namespace plumber;
+
+namespace {
+
+double Measure(WorkloadEnv& env, const GraphDef& graph,
+               const MachineSpec& machine, uint64_t memory = 0) {
+  PipelineOptions popts = env.MakePipelineOptions(machine.cpu_scale, memory);
+  auto pipeline_or = Pipeline::Create(graph, popts);
+  if (!pipeline_or.ok()) return 0;
+  RunOptions ropts;
+  ropts.max_seconds = 0.5;
+  // Warm up one stretch first so any cache is filled.
+  auto iterator = std::move((*pipeline_or)->MakeIterator()).value();
+  RunOptions warm;
+  warm.max_seconds = 0.5;
+  RunIterator(iterator.get(), warm);
+  const RunResult result = RunIterator(iterator.get(), ropts);
+  (*pipeline_or)->Cancel();
+  return result.batches_per_second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "multibox_ssd";
+  auto workload_or = MakeWorkload(name);
+  if (!workload_or.ok()) {
+    std::printf("unknown workload %s; options:", name.c_str());
+    for (const auto& w : AllWorkloadNames()) std::printf(" %s", w.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  auto workload = std::move(workload_or).value();
+  MachineSpec machine = MachineSpec::SetupA();
+
+  WorkloadEnv env;
+  Table table({"policy", "minibatches/s", "speedup vs naive"});
+
+  const double naive =
+      Measure(env, NaiveConfiguration(workload.graph), machine);
+  table.AddRow({"naive (parallelism=1)", Table::Num(naive, 1), "1.0"});
+
+  const double heuristic = Measure(
+      env, HeuristicConfiguration(workload.graph, machine.num_cores),
+      machine);
+  table.AddRow({"heuristic (all cores)", Table::Num(heuristic, 1),
+                Table::Num(heuristic / naive, 1)});
+
+  {
+    auto pipeline = std::move(Pipeline::Create(
+                                  NaiveConfiguration(workload.graph),
+                                  env.MakePipelineOptions(machine.cpu_scale)))
+                        .value();
+    TraceOptions topts;
+    topts.trace_seconds = 0.25;
+    topts.machine = machine;
+    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+    pipeline->Cancel();
+    auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+    AutotuneOptions aopts;
+    aopts.max_parallelism = machine.num_cores;
+    auto autotuned =
+        std::move(AutotuneConfiguration(workload.graph, model, aopts))
+            .value();
+    const double rate = Measure(env, autotuned.graph, machine);
+    table.AddRow({"autotune (M/M/1/k)", Table::Num(rate, 1),
+                  Table::Num(rate / naive, 1)});
+  }
+
+  {
+    OptimizeOptions oopts;
+    oopts.machine = machine;
+    oopts.machine.memory_bytes = 32 << 20;  // generous scaled budget
+    oopts.pipeline_options = env.MakePipelineOptions(
+        machine.cpu_scale, oopts.machine.memory_bytes);
+    PlumberOptimizer optimizer(oopts);
+    auto result = optimizer.Optimize(workload.graph);
+    if (result.ok()) {
+      const double rate = Measure(env, result->graph, machine,
+                                  oopts.machine.memory_bytes);
+      std::string label = "plumber (LP+prefetch+cache)";
+      if (result->cache.feasible) {
+        label += " [cache@" + result->cache.node + "]";
+      }
+      table.AddRow({label, Table::Num(rate, 1),
+                    Table::Num(rate / naive, 1)});
+    }
+  }
+
+  std::printf("workload: %s on %s (%d cores)\n", name.c_str(),
+              machine.name.c_str(), machine.num_cores);
+  table.Print();
+  return 0;
+}

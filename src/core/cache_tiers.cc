@@ -1,0 +1,65 @@
+#include "src/core/cache_tiers.h"
+
+namespace plumber {
+
+const char* CacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kNone:
+      return "none";
+    case CacheTier::kMemory:
+      return "memory";
+    case CacheTier::kDisk:
+      return "disk";
+  }
+  return "none";
+}
+
+TieredCacheDecision PlanCacheTiered(const PipelineModel& model,
+                                    const TieredCachePlanOptions& options,
+                                    const LpPlanOptions& lp_options) {
+  TieredCacheDecision decision;
+  const double memory_budget =
+      options.memory_bytes * options.safety_factor;
+  const double disk_budget =
+      options.disk_free_bytes * options.safety_factor;
+  // Disk caching must not slow the pipeline below what it would do
+  // uncached (minus its own source I/O): compare against the LP's
+  // prediction for the current configuration.
+  const double uncached_rate =
+      PlanAllocation(model, lp_options).predicted_rate;
+
+  for (const auto& node : model.nodes()) {
+    if (!node.cacheable || node.materialized_bytes < 0) continue;
+    CacheCandidate candidate;
+    candidate.node = node.name;
+    candidate.materialized_bytes = node.materialized_bytes;
+
+    const bool fits_memory = options.memory_bytes > 0 &&
+                             node.materialized_bytes <= memory_budget;
+    bool fits_disk = false;
+    double serve_rate = 0;
+    if (options.disk_free_bytes > 0 && options.disk_read_bandwidth > 0 &&
+        node.materialized_bytes <= disk_budget && node.visit_ratio > 0 &&
+        node.bytes_per_element > 0) {
+      // Serving the materialization re-reads visit_ratio elements of
+      // bytes_per_element for every root minibatch.
+      const double bytes_per_minibatch =
+          node.visit_ratio * node.bytes_per_element;
+      serve_rate = options.disk_read_bandwidth / bytes_per_minibatch;
+      fits_disk = serve_rate >= uncached_rate;
+    }
+
+    candidate.fits = fits_memory || fits_disk;
+    decision.candidates.push_back(candidate);
+    if (!decision.feasible && candidate.fits) {
+      decision.feasible = true;
+      decision.node = node.name;
+      decision.materialized_bytes = node.materialized_bytes;
+      decision.tier = fits_memory ? CacheTier::kMemory : CacheTier::kDisk;
+      decision.disk_serve_rate = fits_memory ? 0 : serve_rate;
+    }
+  }
+  return decision;
+}
+
+}  // namespace plumber

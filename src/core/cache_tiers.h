@@ -1,0 +1,53 @@
+// Tiered cache planning: memory preferred, disk fallback.
+//
+// Paper §4.1 "Extensions": "to add the ability to cache materialized
+// results to disk in addition to memory, one can reuse all caching
+// logic up to the cache decision itself, which would dispatch to
+// in-memory caching preferably and disk caching if space and disk
+// bandwidth allow it." This module is exactly that dispatch: the
+// candidate enumeration and materialized-size estimation are reused
+// from the cache planner; only the fit/serve test differs per tier.
+#pragma once
+
+#include <string>
+
+#include "src/core/model.h"
+#include "src/core/planner.h"
+
+namespace plumber {
+
+enum class CacheTier { kNone, kMemory, kDisk };
+
+const char* CacheTierName(CacheTier tier);
+
+struct TieredCachePlanOptions {
+  // Memory tier budget (bytes); 0 disables the tier.
+  uint64_t memory_bytes = 0;
+  // Disk tier: free capacity and sustained read bandwidth of the
+  // scratch device; 0 disables the tier.
+  uint64_t disk_free_bytes = 0;
+  double disk_read_bandwidth = 0;  // bytes/sec
+  double safety_factor = 1.0;
+};
+
+struct TieredCacheDecision {
+  bool feasible = false;
+  CacheTier tier = CacheTier::kNone;
+  std::string node;  // insert cache after this node
+  double materialized_bytes = 0;
+  // For disk-tier decisions: the rate at which the scratch device can
+  // serve the materialization (minibatches/sec).
+  double disk_serve_rate = 0;
+  // Diagnostic trail, root-first.
+  std::vector<CacheCandidate> candidates;
+};
+
+// Picks the cache placement closest to the root that fits a tier,
+// preferring memory. A disk placement is only taken when the scratch
+// device can serve it at least as fast as the pipeline's predicted
+// uncached rate — otherwise the "cache" would become the bottleneck.
+TieredCacheDecision PlanCacheTiered(const PipelineModel& model,
+                                    const TieredCachePlanOptions& options,
+                                    const LpPlanOptions& lp_options = {});
+
+}  // namespace plumber

@@ -1,0 +1,122 @@
+#include "src/core/optimizer.h"
+
+#include <sstream>
+
+namespace plumber {
+
+PlumberOptimizer::PlumberOptimizer(OptimizeOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Pipeline>> PlumberOptimizer::MakePipeline(
+    GraphDef graph) const {
+  PipelineOptions popts = options_.pipeline_options;
+  popts.cpu_scale = options_.machine.cpu_scale;
+  popts.tracing_enabled = true;
+  return Pipeline::Create(std::move(graph), popts);
+}
+
+StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
+    const GraphDef& input) const {
+  OptimizeResult result;
+  result.graph = input;
+  for (int pass = 0; pass < std::max(1, options_.passes); ++pass) {
+    ASSIGN_OR_RETURN(auto pipeline, MakePipeline(result.graph));
+    TraceOptions topts;
+    topts.trace_seconds = options_.trace_seconds;
+    topts.machine = options_.machine;
+    if (rewriter::HasOp(result.graph, "cache")) {
+      // Re-tracing a pipeline that now contains a cache: fill briefly,
+      // then freeze the cache so the trace reflects steady state and
+      // the LP can redistribute the cores the cached subtree frees
+      // (paper §4.1 "Optimizer" / §B truncation trick).
+      topts.warmup_seconds = options_.cache_warmup_seconds;
+      topts.simulate_cache_steady_state = true;
+    }
+    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+    pipeline->Cancel();
+    ASSIGN_OR_RETURN(
+        PipelineModel model,
+        PipelineModel::Build(trace, options_.pipeline_options.udfs));
+    result.traced_rate = model.observed_rate();
+
+    // Pass A: LP parallelism.
+    if (options_.enable_parallelism) {
+      result.plan = PlanAllocation(model, options_.lp_options);
+      RETURN_IF_ERROR(
+          rewriter::ApplyParallelismPlan(&result.graph, result.plan));
+      std::ostringstream os;
+      os << "pass " << pass << ": lp rate=" << result.plan.predicted_rate
+         << " bottleneck=" << result.plan.bottleneck;
+      result.log.push_back(os.str());
+    }
+
+    // Pass B: prefetch injection (first pass only; idempotent anyway).
+    if (options_.enable_prefetch && pass == 0) {
+      result.prefetch = PlanPrefetch(model);
+      RETURN_IF_ERROR(rewriter::EnsureRootPrefetch(
+          &result.graph, result.prefetch.root_buffer));
+      result.log.push_back("prefetch buffer=" +
+                           std::to_string(result.prefetch.root_buffer));
+    }
+
+    // Pass C: cache insertion (once; re-tracing after caching lets the
+    // next LP pass redistribute the freed cores).
+    if (options_.enable_cache && pass == 0 &&
+        !rewriter::HasOp(result.graph, "cache")) {
+      CachePlanOptions copts;
+      copts.memory_bytes = options_.machine.memory_bytes;
+      result.cache = options_.enumerate_caches
+                         ? PlanCacheByEnumeration(model, copts,
+                                                  options_.lp_options)
+                         : PlanCache(model, copts);
+      if (result.cache.feasible) {
+        RETURN_IF_ERROR(
+            rewriter::InjectCache(&result.graph, result.cache.node)
+                .status());
+        result.log.push_back("cache after " + result.cache.node + " (" +
+                             std::to_string(result.cache.materialized_bytes) +
+                             " bytes)");
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<OptimizeResult> PlumberOptimizer::PickBest(
+    const std::vector<GraphDef>& variants) const {
+  if (variants.empty()) return InvalidArgumentError("no variants");
+  StatusOr<OptimizeResult> best = InvalidArgumentError("unset");
+  double best_rate = -1;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    auto result_or = Optimize(variants[i]);
+    if (!result_or.ok()) continue;
+    // Evaluate the optimized variant under a benchmark run.
+    auto pipeline_or = MakePipeline(result_or->graph);
+    if (!pipeline_or.ok()) continue;
+    auto iterator_or = (*pipeline_or)->MakeIterator();
+    if (!iterator_or.ok()) continue;
+    auto iterator = std::move(iterator_or).value();
+    if (options_.evaluate_warmup_seconds > 0) {
+      // Warm any injected cache on the same iterator tree, then freeze
+      // it (§B truncation trick) so variants are compared at steady
+      // state, not during cache fill.
+      RunOptions warmup;
+      warmup.max_seconds = options_.evaluate_warmup_seconds;
+      RunIterator(iterator.get(), warmup);
+      (*pipeline_or)->SimulateSteadyState();
+    }
+    RunOptions ropts;
+    ropts.max_seconds = options_.evaluate_seconds;
+    const RunResult run = RunIterator(iterator.get(), ropts);
+    (*pipeline_or)->Cancel();
+    if (run.batches_per_second > best_rate) {
+      best_rate = run.batches_per_second;
+      result_or->picked_variant = static_cast<int>(i);
+      best = std::move(result_or);
+    }
+  }
+  if (!best.ok()) return InternalError("no variant optimized successfully");
+  return best;
+}
+
+}  // namespace plumber

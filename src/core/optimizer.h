@@ -1,0 +1,75 @@
+// The Plumber optimizer: trace -> model -> LP/cache/prefetch -> rewrite.
+//
+// This is the "automatic front-end to the tracer" of paper §1/§4.1 and
+// the pipeline-optimizer tool of §B: three logical passes (LP
+// parallelism, prefetch insertion, cache insertion) iterated (default
+// 2x) so the empirical rates reflect the rewritten pipeline. PickBest
+// implements the pick_best annotation (§B, Fig. 11): trace several
+// signature-equivalent pipelines, optimize each, return the fastest.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/core/rewriter.h"
+#include "src/core/tracer.h"
+
+namespace plumber {
+
+struct OptimizeOptions {
+  MachineSpec machine;
+  // Everything needed to instantiate the pipeline (fs, udfs, seed).
+  // cpu_scale is taken from `machine`.
+  PipelineOptions pipeline_options;
+  double trace_seconds = 0.3;
+  int passes = 2;
+  bool enable_parallelism = true;
+  bool enable_prefetch = true;
+  bool enable_cache = true;
+  // Use PlanCacheByEnumeration instead of the greedy chain rule.
+  bool enumerate_caches = false;
+  LpPlanOptions lp_options;
+  // Evaluation window used by PickBest to compare variants.
+  double evaluate_seconds = 0.3;
+  // Warmup window run on the same iterator before the PickBest
+  // evaluation. The paper (§B) notes cache cold-start masks the benefit
+  // of a cacheable variant during one epoch; Plumber compares variants
+  // at steady state, which the warmup establishes here.
+  double evaluate_warmup_seconds = 0.3;
+  // Cache-fill window before a steady-state re-trace of a pipeline
+  // with an injected cache (§B truncation trick).
+  double cache_warmup_seconds = 0.4;
+};
+
+struct OptimizeResult {
+  GraphDef graph;
+  LpPlan plan;                 // final-pass LP plan
+  CacheDecision cache;         // cache decision (pass 1)
+  PrefetchDecision prefetch;   // prefetch decision (pass 1)
+  double traced_rate = 0;      // observed rate in the final trace
+  std::vector<std::string> log;
+  int picked_variant = 0;      // PickBest only
+};
+
+class PlumberOptimizer {
+ public:
+  explicit PlumberOptimizer(OptimizeOptions options);
+
+  // Optimizes a single pipeline program.
+  StatusOr<OptimizeResult> Optimize(const GraphDef& input) const;
+
+  // Traces and optimizes each signature-equivalent variant, then picks
+  // the fastest under a benchmark run.
+  StatusOr<OptimizeResult> PickBest(
+      const std::vector<GraphDef>& variants) const;
+
+ private:
+  StatusOr<std::unique_ptr<Pipeline>> MakePipeline(GraphDef graph) const;
+
+  OptimizeOptions options_;
+};
+
+}  // namespace plumber

@@ -1,0 +1,225 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lp/simplex.h"
+
+namespace plumber {
+namespace {
+
+// Encodes the max-min allocation as an explicit LP and solves it with
+// simplex:  max t  s.t.  t - theta_i * R_i <= 0, sum theta <= cores,
+// theta_seq <= 1, optional t <= disk_cap.
+MaxMinSolution SolveWithSimplex(const std::vector<MaxMinStage>& stages,
+                                double cores, double disk_cap) {
+  LpProblem lp;
+  const int t = lp.AddVariable("t", /*objective=*/1.0);
+  std::vector<int> theta(stages.size(), -1);
+  std::vector<std::pair<int, double>> budget;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const double upper = stages[i].sequential
+                             ? 1.0
+                             : std::numeric_limits<double>::infinity();
+    theta[i] = lp.AddVariable("theta:" + stages[i].name, 0.0, upper);
+    lp.AddConstraint({{t, 1.0}, {theta[i], -stages[i].rate_per_core}},
+                     ConstraintSense::kLe, 0.0, "rate:" + stages[i].name);
+    budget.push_back({theta[i], 1.0});
+  }
+  lp.AddConstraint(budget, ConstraintSense::kLe, cores, "cores");
+  if (disk_cap >= 0) {
+    lp.AddConstraint({{t, 1.0}}, ConstraintSense::kLe, disk_cap, "disk");
+  }
+  const LpSolution solution = SolveSimplex(lp);
+  MaxMinSolution out;
+  if (!solution.feasible || !solution.bounded) return out;
+  out.throughput = solution.x[t];
+  out.theta.resize(stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    out.theta[i] = solution.x[theta[i]];
+    out.cores_used += out.theta[i];
+  }
+  out.core_limited = out.cores_used >= cores - 1e-6;
+  double max_theta = -1;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (out.theta[i] > max_theta) {
+      max_theta = out.theta[i];
+      out.bottleneck = static_cast<int>(i);
+    }
+  }
+  return out;
+}
+
+LpPlan PlanFromStages(const std::vector<MaxMinStage>& stages,
+                      const PipelineModel& model,
+                      const LpPlanOptions& options) {
+  LpPlan plan;
+  const double cores = model.machine().num_cores;
+
+  const double disk_demand = model.DiskBytesPerMinibatch();
+  if (options.disk_bandwidth > 0 && disk_demand > 0) {
+    plan.disk_bound_rate = options.disk_bandwidth / disk_demand;
+  }
+
+  MaxMinSolution solution;
+  if (options.use_simplex) {
+    solution = SolveWithSimplex(stages, cores,
+                                options.disk_bandwidth > 0 && disk_demand > 0
+                                    ? plan.disk_bound_rate
+                                    : -1.0);
+  } else {
+    solution = SolveMaxMin(stages, cores);
+  }
+  plan.cpu_bound_rate = options.use_simplex && plan.disk_bound_rate >= 0
+                            ? SolveMaxMin(stages, cores).throughput
+                            : solution.throughput;
+  plan.cores_used = solution.cores_used;
+  plan.core_limited = solution.core_limited;
+  if (solution.bottleneck >= 0) {
+    plan.bottleneck = stages[solution.bottleneck].name;
+  }
+
+  plan.predicted_rate = solution.throughput;
+  if (plan.disk_bound_rate >= 0 &&
+      plan.disk_bound_rate < plan.predicted_rate) {
+    plan.predicted_rate = plan.disk_bound_rate;
+    plan.disk_limited = true;
+  }
+
+  for (size_t i = 0; i < stages.size(); ++i) {
+    plan.theta[stages[i].name] = solution.theta[i];
+    const NodeModel* node = model.Find(stages[i].name);
+    if (node != nullptr && node->parallelizable) {
+      plan.parallelism[stages[i].name] =
+          std::max<int>(1, static_cast<int>(std::ceil(solution.theta[i])));
+    }
+  }
+
+  if (!options.io_curve.empty() && disk_demand > 0) {
+    const double required_bw = plan.predicted_rate * disk_demand;
+    plan.suggested_io_parallelism = std::max<int>(
+        1,
+        static_cast<int>(std::ceil(options.io_curve.InverseMin(required_bw))));
+  }
+  return plan;
+}
+
+}  // namespace
+
+LpPlan PlanAllocation(const PipelineModel& model,
+                      const LpPlanOptions& options) {
+  LpPlan plan = PlanFromStages(model.LpStages(), model, options);
+  // Stages excluded from the LP (behind a warm cache, or negligible
+  // cost) must release any parallelism a previous pass granted them:
+  // their threads do no useful work at steady state but still compete
+  // for cores with the real bottleneck.
+  for (const auto& node : model.nodes()) {
+    if (!node.parallelizable) continue;
+    if ((node.below_cache || node.negligible_cost) &&
+        plan.parallelism.find(node.name) == plan.parallelism.end()) {
+      plan.parallelism[node.name] = 1;
+      plan.theta[node.name] = 0;
+    }
+  }
+  return plan;
+}
+
+CacheDecision PlanCache(const PipelineModel& model,
+                        const CachePlanOptions& options) {
+  CacheDecision decision;
+  const double budget = options.memory_bytes * options.safety_factor;
+  // nodes() is root-first, so the first fitting candidate is the one
+  // closest to the root (greedy-optimal on chains).
+  for (const auto& node : model.nodes()) {
+    if (!node.cacheable || node.materialized_bytes < 0) continue;
+    CacheCandidate candidate;
+    candidate.node = node.name;
+    candidate.materialized_bytes = node.materialized_bytes;
+    candidate.fits = node.materialized_bytes <= budget;
+    decision.candidates.push_back(candidate);
+    if (candidate.fits && !decision.feasible) {
+      decision.feasible = true;
+      decision.node = node.name;
+      decision.materialized_bytes = node.materialized_bytes;
+    }
+  }
+  return decision;
+}
+
+double PredictedRateWithCacheAt(const PipelineModel& model,
+                                const std::string& node,
+                                const LpPlanOptions& lp_options) {
+  // Free every stage at or upstream of `node`: breadth-first over the
+  // input edges from the cache point.
+  std::vector<std::string> frontier{node};
+  std::vector<std::string> freed;
+  while (!frontier.empty()) {
+    const std::string current = frontier.back();
+    frontier.pop_back();
+    freed.push_back(current);
+    const NodeModel* nm = model.Find(current);
+    if (nm == nullptr) continue;
+    for (const auto& input : nm->inputs) frontier.push_back(input);
+  }
+  std::vector<MaxMinStage> stages;
+  for (MaxMinStage stage : model.LpStages()) {
+    if (std::find(freed.begin(), freed.end(), stage.name) != freed.end()) {
+      continue;
+    }
+    stages.push_back(std::move(stage));
+  }
+  LpPlanOptions opts = lp_options;
+  // A cached pipeline no longer reads from storage.
+  opts.disk_bandwidth = 0;
+  if (stages.empty()) {
+    // Everything is free: rate is bounded elsewhere (consumer).
+    return std::numeric_limits<double>::infinity();
+  }
+  return PlanFromStages(stages, model, opts).predicted_rate;
+}
+
+CacheDecision PlanCacheByEnumeration(const PipelineModel& model,
+                                     const CachePlanOptions& cache_options,
+                                     const LpPlanOptions& lp_options) {
+  CacheDecision decision;
+  const double budget =
+      cache_options.memory_bytes * cache_options.safety_factor;
+  double best_rate = -1;
+  for (const auto& node : model.nodes()) {
+    if (!node.cacheable || node.materialized_bytes < 0) continue;
+    CacheCandidate candidate;
+    candidate.node = node.name;
+    candidate.materialized_bytes = node.materialized_bytes;
+    candidate.fits = node.materialized_bytes <= budget;
+    decision.candidates.push_back(candidate);
+    if (!candidate.fits) continue;
+    const double rate =
+        PredictedRateWithCacheAt(model, node.name, lp_options);
+    if (rate > best_rate) {
+      best_rate = rate;
+      decision.feasible = true;
+      decision.node = node.name;
+      decision.materialized_bytes = node.materialized_bytes;
+    }
+  }
+  return decision;
+}
+
+PrefetchDecision PlanPrefetch(const PipelineModel& model) {
+  PrefetchDecision decision;
+  double used_cores = 0;
+  for (const auto& node : model.nodes()) used_cores += node.observed_cores;
+  const double total = std::max(1, model.machine().num_cores);
+  decision.pipeline_idleness = std::clamp(1.0 - used_cores / total, 0.0, 1.0);
+  bool has_root_prefetch = false;
+  if (!model.nodes().empty() && model.nodes().front().op == "prefetch") {
+    has_root_prefetch = true;
+  }
+  decision.inject_root = !has_root_prefetch;
+  decision.root_buffer = std::clamp(
+      static_cast<int>(std::ceil(decision.pipeline_idleness * total / 2)), 2,
+      32);
+  return decision;
+}
+
+}  // namespace plumber

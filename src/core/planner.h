@@ -1,0 +1,96 @@
+// Resource planners: CPU/disk LP, cache placement, prefetch injection
+// (paper §4.3 "Allocating Hardware Resources" and §4.1 "Optimizer").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/io/piecewise_linear.h"
+
+namespace plumber {
+
+// ------------------------------------------------------------- CPU/disk
+struct LpPlanOptions {
+  // Aggregate read bandwidth available to the pipeline, bytes/sec;
+  // 0 disables the disk constraint.
+  double disk_bandwidth = 0;
+  // Optional empirical parallelism -> bandwidth curve for the source
+  // (fit by the I/O profiler); used to pick minimal read parallelism.
+  PiecewiseLinear io_curve;
+  // Solve with the dense simplex instead of the closed form (identical
+  // results on linear pipelines; kept for generality + cross-checks).
+  bool use_simplex = false;
+};
+
+struct LpPlan {
+  // Predicted upper bound on pipeline rate, minibatches/sec.
+  double predicted_rate = 0;
+  double cpu_bound_rate = 0;
+  // Disk-imposed bound; <0 means unconstrained.
+  double disk_bound_rate = -1;
+  bool disk_limited = false;
+  // Fractional cores per stage (theta) and integer knob suggestions.
+  std::map<std::string, double> theta;
+  std::map<std::string, int> parallelism;
+  std::string bottleneck;
+  bool core_limited = false;
+  double cores_used = 0;
+  // Minimal source read parallelism that sustains predicted_rate, from
+  // the piecewise-linear curve (1 if no curve given).
+  int suggested_io_parallelism = 1;
+};
+
+LpPlan PlanAllocation(const PipelineModel& model,
+                      const LpPlanOptions& options = {});
+
+// ---------------------------------------------------------------- cache
+struct CachePlanOptions {
+  uint64_t memory_bytes = 0;
+  // Shrinks the usable budget to leave headroom (1.0 = use it all).
+  double safety_factor = 1.0;
+};
+
+struct CacheCandidate {
+  std::string node;
+  double materialized_bytes = 0;
+  bool fits = false;
+};
+
+struct CacheDecision {
+  bool feasible = false;
+  std::string node;  // insert cache after this node
+  double materialized_bytes = 0;
+  std::vector<CacheCandidate> candidates;  // root-first, for reporting
+};
+
+// Greedy-optimal for linear pipelines: pick the cacheable node closest
+// to the root whose materialization fits in memory (§4.3 "Memory").
+CacheDecision PlanCache(const PipelineModel& model,
+                        const CachePlanOptions& options);
+
+// General-topology variant (§4.3: boolean decision variables layered on
+// the LP): enumerates cache candidates, re-solves the allocation with
+// the cached subtree freed, and returns the candidate with the best
+// predicted rate that fits in memory. Equals PlanCache on chains.
+CacheDecision PlanCacheByEnumeration(const PipelineModel& model,
+                                     const CachePlanOptions& cache_options,
+                                     const LpPlanOptions& lp_options = {});
+
+// Predicted rate if a cache were placed after `node` (upstream freed).
+double PredictedRateWithCacheAt(const PipelineModel& model,
+                                const std::string& node,
+                                const LpPlanOptions& lp_options = {});
+
+// ------------------------------------------------------------- prefetch
+struct PrefetchDecision {
+  bool inject_root = false;
+  int root_buffer = 2;
+  double pipeline_idleness = 0;  // 1 - used_cores / total_cores
+};
+
+// Injects prefetching proportional to pipeline idleness (§4.1).
+PrefetchDecision PlanPrefetch(const PipelineModel& model);
+
+}  // namespace plumber

@@ -1,0 +1,24 @@
+// Umbrella header: the Plumber public API.
+//
+// Typical use (the "one line of code" experience):
+//
+//   plumber::PlumberOptimizer optimizer(options);
+//   auto optimized = optimizer.Optimize(my_pipeline_graph);
+//   auto pipeline  = plumber::Pipeline::Create(optimized->graph, popts);
+//
+// For interactive debugging, CaptureTrace + PipelineModel expose the
+// per-Dataset resource-accounted rates directly.
+#pragma once
+
+#include "src/core/cache_tiers.h"
+#include "src/core/machine.h"
+#include "src/core/model.h"
+#include "src/core/optimizer.h"
+#include "src/core/planner.h"
+#include "src/core/provisioner.h"
+#include "src/core/rewriter.h"
+#include "src/core/roofline.h"
+#include "src/core/tracer.h"
+#include "src/pipeline/graph_builder.h"
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/runner.h"

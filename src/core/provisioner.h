@@ -1,0 +1,74 @@
+// Resource provisioning for a target throughput (paper §4.1: "extending
+// Plumber to perform optimal resource provisioning for matching a
+// target throughput (e.g., to minimize cost)").
+//
+// The LP of §4.3 answers "how fast can this machine go"; provisioning
+// inverts it: "what is the smallest machine that goes this fast". Both
+// rest on the same resource-accounted rates: a stage with rate Ri
+// minibatches/sec/core needs theta_i = target / Ri cores, sources need
+// target * bytes-per-minibatch of read bandwidth, and a cache needs its
+// materialized size in memory (and removes the demands of everything
+// beneath it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/core/planner.h"
+
+namespace plumber {
+
+// One purchasable machine shape (e.g. a cloud instance type).
+struct MachineOffer {
+  std::string name;
+  int num_cores = 0;
+  uint64_t memory_bytes = 0;
+  double disk_bandwidth = 0;  // bytes/sec aggregate read bandwidth
+  double cost_per_hour = 0;   // any consistent currency
+};
+
+struct ProvisionRequest {
+  // Required pipeline rate, minibatches/sec.
+  double target_rate = 0;
+  // Consider plans that insert a cache (more memory, fewer cores/IO).
+  bool allow_cache = true;
+  // Headroom multiplier applied to every computed demand (>= 1).
+  double headroom = 1.0;
+};
+
+// Minimal resource demands to sustain the target on an abstract machine.
+struct ProvisionPlan {
+  bool feasible = false;
+  // Why the plan is infeasible at any core count (e.g. a sequential
+  // stage slower than the target with no cache above it).
+  std::string infeasible_reason;
+
+  double cores_needed = 0;
+  double disk_bandwidth_needed = 0;  // bytes/sec
+  uint64_t memory_needed = 0;        // cache materialization; 0 = none
+  bool uses_cache = false;
+  std::string cache_node;
+  // Per-stage fractional core demands at the target rate.
+  std::map<std::string, double> theta;
+};
+
+// Computes the cheapest (fewest-cores, then least-memory) resource
+// vector sustaining `request.target_rate`, optionally using a cache.
+ProvisionPlan PlanProvision(const PipelineModel& model,
+                            const ProvisionRequest& request);
+
+struct CatalogChoice {
+  bool feasible = false;
+  MachineOffer offer;
+  ProvisionPlan plan;
+  double cost_per_hour = 0;
+};
+
+// Picks the cheapest offer in `catalog` whose resources cover a
+// feasible provisioning plan for the target rate.
+CatalogChoice PickCheapestMachine(const PipelineModel& model,
+                                  const ProvisionRequest& request,
+                                  const std::vector<MachineOffer>& catalog);
+
+}  // namespace plumber

@@ -1,0 +1,104 @@
+#include "src/core/rewriter.h"
+
+#include "src/pipeline/ops.h"
+
+namespace plumber {
+namespace rewriter {
+
+StatusOr<int> GetParallelism(const GraphDef& graph, const std::string& node) {
+  const NodeDef* def = graph.FindNode(node);
+  if (def == nullptr) return NotFoundError("no such node: " + node);
+  if (!OpSupportsParallelism(def->op)) {
+    return FailedPreconditionError(node + " has no parallelism knob");
+  }
+  return static_cast<int>(def->GetInt(kAttrParallelism, 1));
+}
+
+Status SetParallelism(GraphDef* graph, const std::string& node,
+                      int parallelism) {
+  NodeDef* def = graph->MutableNode(node);
+  if (def == nullptr) return NotFoundError("no such node: " + node);
+  if (!OpSupportsParallelism(def->op) || !def->GetBool(kAttrTunable, true)) {
+    return FailedPreconditionError(node + " has no parallelism knob");
+  }
+  if (parallelism < 1) return InvalidArgumentError("parallelism < 1");
+  def->attrs[kAttrParallelism] = AttrValue(parallelism);
+  return OkStatus();
+}
+
+Status SetAllParallelism(GraphDef* graph, int parallelism) {
+  for (const std::string& node : TunableNodes(*graph)) {
+    RETURN_IF_ERROR(SetParallelism(graph, node, parallelism));
+  }
+  return OkStatus();
+}
+
+StatusOr<int> GetBufferSize(const GraphDef& graph, const std::string& node) {
+  const NodeDef* def = graph.FindNode(node);
+  if (def == nullptr) return NotFoundError("no such node: " + node);
+  return static_cast<int>(def->GetInt(kAttrBufferSize, 0));
+}
+
+Status SetBufferSize(GraphDef* graph, const std::string& node, int size) {
+  NodeDef* def = graph->MutableNode(node);
+  if (def == nullptr) return NotFoundError("no such node: " + node);
+  if (size < 1) return InvalidArgumentError("buffer size < 1");
+  def->attrs[kAttrBufferSize] = AttrValue(size);
+  return OkStatus();
+}
+
+StatusOr<std::string> InjectPrefetch(GraphDef* graph,
+                                     const std::string& after, int buffer) {
+  NodeDef node;
+  node.name = graph->UniqueName(after + "_prefetch");
+  node.op = "prefetch";
+  node.attrs[kAttrBufferSize] = AttrValue(buffer);
+  RETURN_IF_ERROR(graph->InsertAfter(after, node));
+  return node.name;
+}
+
+StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after) {
+  NodeDef node;
+  node.name = graph->UniqueName(after + "_cache");
+  node.op = "cache";
+  RETURN_IF_ERROR(graph->InsertAfter(after, node));
+  return node.name;
+}
+
+Status EnsureRootPrefetch(GraphDef* graph, int buffer) {
+  const NodeDef* root = graph->FindNode(graph->output());
+  if (root == nullptr) return FailedPreconditionError("no output node");
+  if (root->op == "prefetch") {
+    return SetBufferSize(graph, root->name, buffer);
+  }
+  return InjectPrefetch(graph, root->name, buffer).status();
+}
+
+bool HasOp(const GraphDef& graph, const std::string& op) {
+  for (const auto& node : graph.nodes()) {
+    if (node.op == op) return true;
+  }
+  return false;
+}
+
+Status ApplyParallelismPlan(GraphDef* graph, const LpPlan& plan) {
+  for (const auto& [node, parallelism] : plan.parallelism) {
+    const NodeDef* def = graph->FindNode(node);
+    if (def == nullptr || !OpSupportsParallelism(def->op)) continue;
+    RETURN_IF_ERROR(SetParallelism(graph, node, parallelism));
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> TunableNodes(const GraphDef& graph) {
+  std::vector<std::string> out;
+  for (const auto& node : graph.nodes()) {
+    if (OpSupportsParallelism(node.op) && node.GetBool(kAttrTunable, true)) {
+      out.push_back(node.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace rewriter
+}  // namespace plumber

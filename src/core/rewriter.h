@@ -1,0 +1,47 @@
+// Graph rewriting utilities (paper §B "Graph Rewrites").
+//
+// The three mechanisms the paper requires of a graph-rewriting utility:
+// (1) get a node's performance parameter, (2) set a node's parallelism,
+// (3) insert a new node after a selected node (caching, prefetching).
+// All rewrites preserve the Dataset signature: the rewritten graph is a
+// drop-in replacement for the original.
+#pragma once
+
+#include "src/core/planner.h"
+#include "src/pipeline/graph_def.h"
+
+namespace plumber {
+namespace rewriter {
+
+StatusOr<int> GetParallelism(const GraphDef& graph, const std::string& node);
+Status SetParallelism(GraphDef* graph, const std::string& node,
+                      int parallelism);
+
+// Sets every tunable parallelism knob to `parallelism` (HEURISTIC).
+Status SetAllParallelism(GraphDef* graph, int parallelism);
+
+StatusOr<int> GetBufferSize(const GraphDef& graph, const std::string& node);
+Status SetBufferSize(GraphDef* graph, const std::string& node, int size);
+
+// Inserts a prefetch node after `after` with the given buffer size.
+// Returns the new node's name.
+StatusOr<std::string> InjectPrefetch(GraphDef* graph,
+                                     const std::string& after, int buffer);
+
+// Inserts a cache node after `after`. Returns the new node's name.
+StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after);
+
+// Ensures the graph root is a prefetch (injects one if missing).
+Status EnsureRootPrefetch(GraphDef* graph, int buffer);
+
+// True if any node of the given op kind exists.
+bool HasOp(const GraphDef& graph, const std::string& op);
+
+// Applies an LP plan's integer parallelism suggestions.
+Status ApplyParallelismPlan(GraphDef* graph, const LpPlan& plan);
+
+// Names of nodes with a tunable parallelism knob.
+std::vector<std::string> TunableNodes(const GraphDef& graph);
+
+}  // namespace rewriter
+}  // namespace plumber

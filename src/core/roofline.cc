@@ -1,0 +1,76 @@
+#include "src/core/roofline.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace plumber {
+
+RooflineReport BuildRoofline(const PipelineModel& model,
+                             double disk_bandwidth) {
+  RooflineReport report;
+  report.achieved_rate = model.observed_rate();
+
+  double total_cpu = 0;
+  for (const auto& node : model.nodes()) total_cpu += node.cpu_seconds;
+
+  const double cores = model.machine().num_cores;
+  for (const auto& node : model.nodes()) {
+    if (node.rate_per_core <= 0 || node.negligible_cost ||
+        node.below_cache) {
+      continue;
+    }
+    RooflinePoint point;
+    point.name = node.name;
+    point.op = node.op;
+    point.sequential = !node.parallelizable;
+    point.rate_per_core = node.rate_per_core;
+    point.cpu_roof =
+        node.rate_per_core * (point.sequential ? 1.0 : cores);
+    point.cpu_share = total_cpu > 0 ? node.cpu_seconds / total_cpu : 0;
+    report.stages.push_back(std::move(point));
+  }
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const RooflinePoint& a, const RooflinePoint& b) {
+              return a.cpu_roof < b.cpu_roof;
+            });
+
+  report.compute_roof = report.stages.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : report.stages.front().cpu_roof;
+  const double demand = model.DiskBytesPerMinibatch();
+  if (disk_bandwidth > 0 && demand > 0) {
+    report.io_roof = disk_bandwidth / demand;
+  }
+
+  report.binding_roof = report.compute_roof;
+  report.binding_stage =
+      report.stages.empty() ? "" : report.stages.front().name;
+  if (report.io_roof > 0 && report.io_roof < report.binding_roof) {
+    report.binding_roof = report.io_roof;
+    report.binding_stage = "io";
+  }
+  if (report.binding_roof > 0 &&
+      report.binding_roof != std::numeric_limits<double>::infinity()) {
+    report.roof_fraction = report.achieved_rate / report.binding_roof;
+  }
+  return report;
+}
+
+std::string RooflineReport::ToString() const {
+  std::ostringstream os;
+  os << "roofline: achieved=" << achieved_rate
+     << " mb/s, binding=" << binding_stage << " roof=" << binding_roof
+     << " (fraction " << roof_fraction << ")\n";
+  if (io_roof > 0) os << "  io roof: " << io_roof << " mb/s\n";
+  for (const auto& stage : stages) {
+    os << "  " << stage.name << " (" << stage.op << ")"
+       << (stage.sequential ? " [sequential]" : "")
+       << " roof=" << stage.cpu_roof
+       << " rate/core=" << stage.rate_per_core
+       << " cpu_share=" << stage.cpu_share << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace plumber

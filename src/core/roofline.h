@@ -1,0 +1,53 @@
+// Roofline-style bound analysis for input pipelines.
+//
+// The paper's related-work section notes Plumber "generates similar
+// plots [to Roofline] using Dataset and resource limits": each stage
+// has a compute roof (all machine cores running the stage's
+// resource-accounted rate) and the pipeline has an I/O roof (device
+// bandwidth over bytes-per-minibatch). The achieved rate sits under the
+// lower roof; the gap between achieved and the binding roof is the
+// optimization headroom Plumber's passes go after.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/model.h"
+
+namespace plumber {
+
+struct RooflinePoint {
+  std::string name;
+  std::string op;
+  // Rate if the whole machine ran only this stage (minibatches/sec).
+  double cpu_roof = 0;
+  // Sequential stages cap at one core regardless of machine size.
+  bool sequential = false;
+  // Arithmetic-intensity analogue: minibatches per CPU core-second.
+  double rate_per_core = 0;
+  // Fraction of the trace window's total CPU the stage consumed.
+  double cpu_share = 0;
+};
+
+struct RooflineReport {
+  // Per-stage compute roofs, ascending (first = binding stage).
+  std::vector<RooflinePoint> stages;
+  // Pipeline-wide roofs and the observation.
+  double io_roof = 0;        // disk bandwidth / bytes-per-minibatch; 0 = none
+  double compute_roof = 0;   // min over stage cpu_roofs
+  double achieved_rate = 0;  // observed during the trace
+  // min(io_roof, compute_roof) when both exist.
+  double binding_roof = 0;
+  std::string binding_stage;  // stage name or "io"
+  // achieved / binding_roof: 1.0 means the pipeline sits on the roof.
+  double roof_fraction = 0;
+
+  std::string ToString() const;
+};
+
+// Builds the roofline report from a traced model; `disk_bandwidth` = 0
+// omits the I/O roof.
+RooflineReport BuildRoofline(const PipelineModel& model,
+                             double disk_bandwidth = 0);
+
+}  // namespace plumber

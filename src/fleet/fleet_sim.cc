@@ -1,0 +1,105 @@
+#include "src/fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+// Job classes and mixture weights chosen so the aggregate reproduces
+// the paper's reported quantiles:
+//   8%  well-configured     latency ~ 10-50us
+//  30%  mildly stalled      latency ~ 50us-1ms
+//  46%  software-bottleneck latency ~ 1ms-100ms, moderate utilization
+//  16%  severely input-bound latency > 100ms, low utilization
+struct JobClass {
+  double weight;
+  double log10_latency_mean;   // latency drawn log-normal (log10 space)
+  double log10_latency_sigma;
+  double cpu_mean, cpu_sigma;
+  double membw_mean, membw_sigma;
+};
+
+constexpr JobClass kClasses[] = {
+    {0.08, -4.6, 0.20, 0.45, 0.18, 0.40, 0.18},  // well-configured
+    {0.30, -3.5, 0.35, 0.38, 0.18, 0.35, 0.18},  // mildly stalled
+    {0.46, -1.9, 0.55, 0.25, 0.14, 0.30, 0.16},  // software bottleneck
+    {0.16, -0.4, 0.45, 0.11, 0.07, 0.18, 0.10},  // severely input-bound
+};
+
+double ClampUnit(double x) { return std::clamp(x, 0.005, 0.98); }
+
+}  // namespace
+
+std::vector<FleetJob> SimulateFleet(const FleetModelOptions& options) {
+  Rng rng(options.seed);
+  std::vector<double> weights;
+  for (const auto& c : kClasses) weights.push_back(c.weight);
+  std::vector<FleetJob> jobs;
+  jobs.reserve(options.num_jobs);
+  for (int64_t i = 0; i < options.num_jobs; ++i) {
+    const size_t k = rng.Categorical(weights);
+    const JobClass& c = kClasses[k];
+    FleetJob job;
+    job.job_class = static_cast<int>(k);
+    job.next_latency_s = std::pow(
+        10.0, rng.Normal(c.log10_latency_mean, c.log10_latency_sigma));
+    job.cpu_utilization = ClampUnit(rng.Normal(c.cpu_mean, c.cpu_sigma));
+    job.membw_utilization =
+        ClampUnit(rng.Normal(c.membw_mean, c.membw_sigma));
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+FleetSummary SummarizeFleet(const std::vector<FleetJob>& jobs) {
+  FleetSummary s;
+  s.num_jobs = static_cast<int64_t>(jobs.size());
+  if (jobs.empty()) return s;
+  int64_t above_50us = 0, above_1ms = 0, above_100ms = 0;
+  RunningStat slow_cpu, slow_membw, mid_cpu, mid_membw;
+  for (const auto& job : jobs) {
+    if (job.next_latency_s > 50e-6) ++above_50us;
+    if (job.next_latency_s > 1e-3) ++above_1ms;
+    if (job.next_latency_s > 100e-3) ++above_100ms;
+    if (job.next_latency_s >= 100e-3) {
+      slow_cpu.Add(job.cpu_utilization);
+      slow_membw.Add(job.membw_utilization);
+    } else if (job.next_latency_s >= 50e-6) {
+      mid_cpu.Add(job.cpu_utilization);
+      mid_membw.Add(job.membw_utilization);
+    }
+  }
+  const double n = static_cast<double>(jobs.size());
+  s.frac_above_50us = above_50us / n;
+  s.frac_above_1ms = above_1ms / n;
+  s.frac_above_100ms = above_100ms / n;
+  s.slow_mean_cpu = slow_cpu.mean();
+  s.slow_mean_membw = slow_membw.mean();
+  s.mid_mean_cpu = mid_cpu.mean();
+  s.mid_mean_membw = mid_membw.mean();
+  return s;
+}
+
+std::vector<std::pair<double, double>> FleetLatencyCdf(
+    const std::vector<FleetJob>& jobs, const std::vector<double>& points) {
+  std::vector<double> latencies;
+  latencies.reserve(jobs.size());
+  for (const auto& job : jobs) latencies.push_back(job.next_latency_s);
+  std::sort(latencies.begin(), latencies.end());
+  std::vector<std::pair<double, double>> out;
+  for (double p : points) {
+    const auto it =
+        std::upper_bound(latencies.begin(), latencies.end(), p);
+    out.emplace_back(
+        p, latencies.empty()
+               ? 0.0
+               : static_cast<double>(it - latencies.begin()) /
+                     latencies.size());
+  }
+  return out;
+}
+
+}  // namespace plumber

@@ -1,0 +1,59 @@
+// Fleet analysis simulator (paper §3 "Spot the Leak").
+//
+// The paper analyzes >2M proprietary Google ML jobs; we substitute a
+// calibrated generative model: jobs are drawn from a mixture of classes
+// (well-provisioned, software-bottlenecked, I/O-bound, severely
+// input-bound) whose Next-latency and host-utilization distributions
+// are fit to the quantiles the paper reports — 92% of jobs above 50us,
+// 62% above 1ms, 16% above 100ms, and the low-utilization cluster for
+// jobs slower than 100ms (Fig. 3 and Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace plumber {
+
+struct FleetJob {
+  // Mean Next-call latency per training step, seconds.
+  double next_latency_s = 0;
+  // Host CPU utilization in [0, 1].
+  double cpu_utilization = 0;
+  // Host memory-bandwidth utilization in [0, 1].
+  double membw_utilization = 0;
+  int job_class = 0;
+};
+
+struct FleetModelOptions {
+  uint64_t seed = 20200701;
+  int64_t num_jobs = 200000;
+};
+
+// Draws the synthetic fleet.
+std::vector<FleetJob> SimulateFleet(const FleetModelOptions& options = {});
+
+struct FleetSummary {
+  int64_t num_jobs = 0;
+  double frac_above_50us = 0;
+  double frac_above_1ms = 0;
+  double frac_above_100ms = 0;
+  // Mean utilizations for jobs with latency >= 100ms (the "large blue
+  // dots" of Fig. 4; paper: ~11% CPU, ~18% memory bandwidth).
+  double slow_mean_cpu = 0;
+  double slow_mean_membw = 0;
+  // Mean utilizations for the 50us..100ms band.
+  double mid_mean_cpu = 0;
+  double mid_mean_membw = 0;
+};
+
+FleetSummary SummarizeFleet(const std::vector<FleetJob>& jobs);
+
+// CDF points of Next latency (for Fig. 3): pairs of (latency_s,
+// fraction of jobs <= latency).
+std::vector<std::pair<double, double>> FleetLatencyCdf(
+    const std::vector<FleetJob>& jobs, const std::vector<double>& points);
+
+}  // namespace plumber

@@ -1,0 +1,60 @@
+#include "src/io/piecewise_linear.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace plumber {
+
+void PiecewiseLinear::AddPoint(double x, double y) {
+  assert(xs_.empty() || x > xs_.back());
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+double PiecewiseLinear::Eval(double x) const {
+  if (xs_.empty()) return 0;
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const size_t hi = it - xs_.begin();
+  const size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseLinear::InverseMin(double y) const {
+  if (xs_.empty()) return 0;
+  if (ys_.front() >= y) return xs_.front();
+  for (size_t i = 1; i < xs_.size(); ++i) {
+    if (ys_[i] >= y) {
+      // Interpolate within the segment [i-1, i].
+      const double dy = ys_[i] - ys_[i - 1];
+      if (dy <= 0) return xs_[i];
+      const double t = (y - ys_[i - 1]) / dy;
+      return xs_[i - 1] + t * (xs_[i] - xs_[i - 1]);
+    }
+  }
+  return xs_.back();
+}
+
+double PiecewiseLinear::MaxY() const {
+  double best = 0;
+  for (double y : ys_) best = std::max(best, y);
+  return best;
+}
+
+double PiecewiseLinear::SaturationX(double tolerance) const {
+  return InverseMin((1.0 - tolerance) * MaxY());
+}
+
+std::string PiecewiseLinear::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << xs_[i] << ", " << ys_[i] << ")";
+  }
+  return os.str();
+}
+
+}  // namespace plumber

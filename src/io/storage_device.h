@@ -1,0 +1,79 @@
+// Simulated storage devices.
+//
+// A StorageDevice models the bandwidth behaviour the paper evaluates
+// against: a device-wide bandwidth cap (HDD ~180MB/s, NVMe ~2GB/s, or a
+// token-bucket-limited sweep), an optional per-stream cap (cloud object
+// stores serve each connection at a fraction of aggregate bandwidth, so
+// read parallelism matters), and a fixed per-read latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/io/token_bucket.h"
+
+namespace plumber {
+
+struct DeviceSpec {
+  std::string name = "unlimited";
+  // Aggregate bandwidth cap in bytes/sec; 0 = unlimited.
+  double max_bandwidth = 0;
+  // Per-stream bandwidth cap in bytes/sec; 0 = no per-stream cap.
+  double per_stream_bandwidth = 0;
+  // Fixed latency charged per read call, seconds.
+  double read_latency_s = 0;
+
+  static DeviceSpec Unlimited();
+  static DeviceSpec Hdd();           // ~180 MB/s sequential
+  static DeviceSpec NvmeSsd();       // ~2 GB/s
+  static DeviceSpec CloudStorage(double aggregate, double per_stream);
+  static DeviceSpec TokenBucketLimit(double bytes_per_sec);
+};
+
+// One logical read stream (e.g. one open file being read by one
+// interleave worker). Owns the per-stream limiter.
+class ReadStream {
+ public:
+  explicit ReadStream(class StorageDevice* device);
+
+  // Blocks to charge `bytes` of I/O against both the per-stream and the
+  // device-wide limiter, then accounts it.
+  void Charge(uint64_t bytes);
+
+ private:
+  StorageDevice* device_;
+  std::unique_ptr<TokenBucket> stream_bucket_;  // null if uncapped
+};
+
+class StorageDevice {
+ public:
+  explicit StorageDevice(DeviceSpec spec);
+
+  std::unique_ptr<ReadStream> OpenStream();
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  // Changes the aggregate bandwidth cap (token-bucket sweeps).
+  void SetBandwidth(double bytes_per_sec);
+
+  uint64_t total_bytes_read() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_reads() const {
+    return total_reads_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+ private:
+  friend class ReadStream;
+  void Charge(uint64_t bytes);
+
+  DeviceSpec spec_;
+  TokenBucket global_bucket_;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_reads_{0};
+};
+
+}  // namespace plumber

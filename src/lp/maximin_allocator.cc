@@ -1,0 +1,61 @@
+#include "src/lp/maximin_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace plumber {
+
+MaxMinSolution SolveMaxMin(const std::vector<MaxMinStage>& stages,
+                           double num_cores) {
+  MaxMinSolution out;
+  out.theta.assign(stages.size(), 0.0);
+  if (stages.empty() || num_cores <= 0) return out;
+
+  // Stages with non-positive rate consume no cores and impose no bound
+  // (e.g. already-cached subtrees with zero steady-state cost).
+  double inv_rate_sum = 0;
+  double seq_cap = std::numeric_limits<double>::infinity();
+  int seq_cap_idx = -1;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    if (s.rate_per_core <= 0) continue;
+    inv_rate_sum += 1.0 / s.rate_per_core;
+    if (s.sequential && s.rate_per_core < seq_cap) {
+      seq_cap = s.rate_per_core;
+      seq_cap_idx = static_cast<int>(i);
+    }
+  }
+  if (inv_rate_sum <= 0) return out;
+
+  const double core_limited_x = num_cores / inv_rate_sum;
+  double x = core_limited_x;
+  out.core_limited = true;
+  out.bottleneck = -1;
+  if (seq_cap < x) {
+    x = seq_cap;
+    out.core_limited = false;
+    out.bottleneck = seq_cap_idx;
+  }
+  out.throughput = x;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (stages[i].rate_per_core > 0) {
+      out.theta[i] = x / stages[i].rate_per_core;
+      out.cores_used += out.theta[i];
+    }
+  }
+  if (out.core_limited) {
+    // The binding stage under the core budget is the slowest per-core
+    // stage (largest theta).
+    double max_theta = -1;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (out.theta[i] > max_theta) {
+        max_theta = out.theta[i];
+        out.bottleneck = static_cast<int>(i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace plumber

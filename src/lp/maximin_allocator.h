@@ -1,0 +1,37 @@
+// Closed-form solver for Plumber's max-min core allocation (§4.3).
+//
+//   maximize  X = min_i (theta_i * R_i)
+//   s.t.      sum_i theta_i <= num_cores
+//             0 <= theta_i, and theta_i <= 1 for sequential operations
+//
+// At the optimum every unsaturated stage runs at the same aggregate rate
+// X, so theta_i = X / R_i (water filling); sequential stages cap X at
+// R_i. Used both directly and as an oracle cross-checking the simplex
+// encoding of the same LP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plumber {
+
+struct MaxMinStage {
+  std::string name;
+  double rate_per_core = 0;  // R_i, minibatches/sec/core; <=0 means "free"
+  bool sequential = false;   // theta_i <= 1
+};
+
+struct MaxMinSolution {
+  double throughput = 0;            // X
+  std::vector<double> theta;        // cores per stage
+  double cores_used = 0;
+  // Index of the stage that binds the optimum (sequential cap or the
+  // core budget split); -1 if the problem is degenerate.
+  int bottleneck = -1;
+  bool core_limited = false;        // true if sum theta == num_cores binds
+};
+
+MaxMinSolution SolveMaxMin(const std::vector<MaxMinStage>& stages,
+                           double num_cores);
+
+}  // namespace plumber

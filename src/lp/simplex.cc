@@ -1,0 +1,220 @@
+#include "src/lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace plumber {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dense tableau:
+//   rows_ x cols_ coefficient matrix `a`, rhs `b`, objective row `z`.
+// Column layout: [structural vars | slack/surplus | artificials].
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                a_(rows, std::vector<double>(cols, 0.0)),
+                                b_(rows, 0.0), basis_(rows, -1) {}
+
+  std::vector<std::vector<double>>& a() { return a_; }
+  std::vector<double>& b() { return b_; }
+  std::vector<int>& basis() { return basis_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  // Runs primal simplex minimizing cost vector `cost`; returns false if
+  // unbounded. Uses Bland's rule on ties to avoid cycling.
+  bool Minimize(const std::vector<double>& cost, double tol, int max_iter) {
+    // Reduced costs maintained implicitly: recompute each iteration.
+    // O(iterations * rows * cols) — fine at this scale.
+    for (int iter = 0; iter < max_iter; ++iter) {
+      // y = c_B B^{-1} is implicit: tableau is kept in canonical form,
+      // so reduced cost of column j is cost[j] - sum_i cost[basis_[i]] * a[i][j].
+      int entering = -1;
+      double best = -tol;
+      for (int j = 0; j < cols_; ++j) {
+        double rc = cost[j];
+        for (int i = 0; i < rows_; ++i) rc -= cost[basis_[i]] * a_[i][j];
+        if (rc < best - 1e-15) {
+          best = rc;
+          entering = j;
+        }
+      }
+      if (entering < 0) return true;  // optimal
+      // Ratio test (Bland's rule on ties).
+      int leaving = -1;
+      double best_ratio = kInf;
+      for (int i = 0; i < rows_; ++i) {
+        if (a_[i][entering] > tol) {
+          const double ratio = b_[i] / a_[i][entering];
+          if (ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol &&
+               (leaving < 0 || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving < 0) return false;  // unbounded
+      Pivot(leaving, entering);
+    }
+    return true;  // iteration cap; treat as converged
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = a_[row][col];
+    assert(std::abs(pivot) > 1e-12);
+    for (int j = 0; j < cols_; ++j) a_[row][j] /= pivot;
+    b_[row] /= pivot;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0) continue;
+      for (int j = 0; j < cols_; ++j) a_[i][j] -= factor * a_[row][j];
+      b_[i] -= factor * b_[row];
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveSimplex(const LpProblem& problem,
+                        const SimplexOptions& options) {
+  const int n = problem.num_variables();
+  // Materialize upper bounds as explicit <= constraints.
+  std::vector<LpConstraint> rows(problem.constraints().begin(),
+                                 problem.constraints().end());
+  for (int i = 0; i < n; ++i) {
+    const double ub = problem.upper_bounds()[i];
+    if (std::isfinite(ub)) {
+      rows.push_back(LpConstraint{{{i, 1.0}}, ConstraintSense::kLe, ub,
+                                  "ub:" + problem.VariableName(i)});
+    }
+  }
+  const int m = static_cast<int>(rows.size());
+
+  // Count slack and artificial columns.
+  int num_slack = 0, num_artificial = 0;
+  for (auto& r : rows) {
+    // Normalize to rhs >= 0.
+    if (r.rhs < 0) {
+      for (auto& t : r.terms) t.second = -t.second;
+      r.rhs = -r.rhs;
+      if (r.sense == ConstraintSense::kLe) {
+        r.sense = ConstraintSense::kGe;
+      } else if (r.sense == ConstraintSense::kGe) {
+        r.sense = ConstraintSense::kLe;
+      }
+    }
+    switch (r.sense) {
+      case ConstraintSense::kLe:
+        ++num_slack;
+        break;
+      case ConstraintSense::kGe:
+        ++num_slack;  // surplus
+        ++num_artificial;
+        break;
+      case ConstraintSense::kEq:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  const int cols = n + num_slack + num_artificial;
+  Tableau t(m, cols);
+  int slack_col = n;
+  int art_col = n + num_slack;
+  std::vector<int> artificial_cols;
+  for (int i = 0; i < m; ++i) {
+    const auto& r = rows[i];
+    for (const auto& [var, coeff] : r.terms) t.a()[i][var] += coeff;
+    t.b()[i] = r.rhs;
+    switch (r.sense) {
+      case ConstraintSense::kLe:
+        t.a()[i][slack_col] = 1.0;
+        t.basis()[i] = slack_col;
+        ++slack_col;
+        break;
+      case ConstraintSense::kGe:
+        t.a()[i][slack_col] = -1.0;
+        ++slack_col;
+        t.a()[i][art_col] = 1.0;
+        t.basis()[i] = art_col;
+        artificial_cols.push_back(art_col);
+        ++art_col;
+        break;
+      case ConstraintSense::kEq:
+        t.a()[i][art_col] = 1.0;
+        t.basis()[i] = art_col;
+        artificial_cols.push_back(art_col);
+        ++art_col;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (!artificial_cols.empty()) {
+    std::vector<double> phase1_cost(cols, 0.0);
+    for (int c : artificial_cols) phase1_cost[c] = 1.0;
+    if (!t.Minimize(phase1_cost, options.tolerance, options.max_iterations)) {
+      solution.feasible = false;
+      return solution;
+    }
+    double infeasibility = 0;
+    for (int i = 0; i < m; ++i) {
+      if (phase1_cost[t.basis()[i]] > 0) infeasibility += t.b()[i];
+    }
+    if (infeasibility > 1e-6) {
+      solution.feasible = false;
+      return solution;
+    }
+    // Drive any remaining artificial variables out of the basis.
+    for (int i = 0; i < m; ++i) {
+      if (phase1_cost[t.basis()[i]] > 0) {
+        for (int j = 0; j < n + num_slack; ++j) {
+          if (std::abs(t.a()[i][j]) > options.tolerance) {
+            t.Pivot(i, j);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: minimize -objective (i.e. maximize objective). Artificial
+  // columns get prohibitive cost so they stay out of the basis.
+  std::vector<double> phase2_cost(cols, 0.0);
+  for (int i = 0; i < n; ++i) phase2_cost[i] = -problem.objective()[i];
+  for (int c : artificial_cols) phase2_cost[c] = 1e12;
+  if (!t.Minimize(phase2_cost, options.tolerance, options.max_iterations)) {
+    solution.feasible = true;
+    solution.bounded = false;
+    return solution;
+  }
+
+  solution.feasible = true;
+  solution.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.basis()[i] < n) solution.x[t.basis()[i]] = std::max(0.0, t.b()[i]);
+  }
+  solution.objective = 0;
+  for (int i = 0; i < n; ++i) {
+    solution.objective += problem.objective()[i] * solution.x[i];
+  }
+  return solution;
+}
+
+}  // namespace plumber

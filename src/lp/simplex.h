@@ -1,0 +1,22 @@
+// Dense two-phase simplex solver.
+//
+// Solves LpProblem instances exactly (up to floating-point tolerance).
+// Sized for Plumber's use: tens of variables and constraints, where a
+// dense tableau with Bland's anti-cycling rule is simple and robust.
+#pragma once
+
+#include "src/lp/lp_problem.h"
+
+namespace plumber {
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  int max_iterations = 10000;
+};
+
+// Maximizes the problem's objective. On infeasibility returns
+// feasible=false; on unboundedness returns bounded=false.
+LpSolution SolveSimplex(const LpProblem& problem,
+                        const SimplexOptions& options = {});
+
+}  // namespace plumber

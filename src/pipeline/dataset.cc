@@ -1,0 +1,75 @@
+#include "src/pipeline/dataset.h"
+
+#include <map>
+#include <optional>
+
+#include "src/pipeline/ops.h"
+
+namespace plumber {
+
+Status IteratorBase::GetNext(Element* out, bool* end_of_sequence) {
+  if (ctx_->is_cancelled()) return CancelledError("pipeline cancelled");
+  std::optional<CpuAccountingScope> scope;
+  if (ctx_->tracing_enabled) scope.emplace(stats_);
+  Status status = GetNextInternal(out, end_of_sequence);
+  if (status.ok() && !*end_of_sequence) {
+    stats_->RecordProduced(out->TotalBytes());
+  }
+  return status;
+}
+
+bool OpSupportsParallelism(const std::string& op) {
+  return op == "map" || op == "interleave" || op == "map_and_batch";
+}
+
+bool OpIsSource(const std::string& op) {
+  return op == "tfrecord" || op == "interleave" || op == "range" ||
+         op == "file_list";
+}
+
+StatusOr<DatasetPtr> InstantiateGraph(const GraphDef& graph,
+                                      PipelineContext* ctx) {
+  static const std::map<std::string, DatasetFactory> kFactories = {
+      {"range", &MakeRangeDataset},
+      {"file_list", &MakeFileListDataset},
+      {"tfrecord", &MakeTfRecordDataset},
+      {"interleave", &MakeInterleaveDataset},
+      {"map", &MakeMapDataset},
+      {"filter", &MakeFilterDataset},
+      {"shuffle", &MakeShuffleDataset},
+      {"shuffle_and_repeat", &MakeShuffleAndRepeatDataset},
+      {"repeat", &MakeRepeatDataset},
+      {"take", &MakeTakeDataset},
+      {"skip", &MakeSkipDataset},
+      {"batch", &MakeBatchDataset},
+      {"prefetch", &MakePrefetchDataset},
+      {"cache", &MakeCacheDataset},
+      {"zip", &MakeZipDataset},
+      {"concatenate", &MakeConcatenateDataset},
+      {"map_and_batch", &MakeMapAndBatchDataset},
+  };
+  ASSIGN_OR_RETURN(std::vector<std::string> order, graph.TopologicalOrder());
+  std::map<std::string, DatasetPtr> built;
+  for (const std::string& name : order) {
+    const NodeDef* def = graph.FindNode(name);
+    auto factory = kFactories.find(def->op);
+    if (factory == kFactories.end()) {
+      return UnimplementedError("unknown op: " + def->op);
+    }
+    std::vector<DatasetPtr> inputs;
+    inputs.reserve(def->inputs.size());
+    for (const std::string& input : def->inputs) {
+      auto it = built.find(input);
+      if (it == built.end()) {
+        return InternalError("input not built: " + input);
+      }
+      inputs.push_back(it->second);
+    }
+    ASSIGN_OR_RETURN(DatasetPtr ds,
+                     factory->second(*def, std::move(inputs), ctx));
+    built.emplace(name, std::move(ds));
+  }
+  return built.at(graph.output());
+}
+
+}  // namespace plumber

@@ -1,0 +1,115 @@
+// Dataset / Iterator abstractions (the tf.data execution model).
+//
+// A Dataset is the declarative object built from a GraphDef node; at
+// runtime it is unrolled into a tree of Iterators that pull data from
+// their children recursively (paper Fig. 2). Iterators implement the
+// standard iterator-model contract: construction = Open, GetNext =
+// Next, destruction = Close.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/sim_filesystem.h"
+#include "src/pipeline/element.h"
+#include "src/pipeline/graph_def.h"
+#include "src/pipeline/iterator_stats.h"
+#include "src/pipeline/udf.h"
+#include "src/util/status.h"
+
+namespace plumber {
+
+inline constexpr int64_t kInfiniteCardinality = -1;
+inline constexpr int64_t kUnknownCardinality = -2;
+
+// Shared runtime context: filesystem, UDF registry, stats sink, machine
+// speed scaling, cancellation, and tracing control. Owned by Pipeline;
+// outlives all datasets/iterators created with it.
+struct PipelineContext {
+  SimFilesystem* fs = nullptr;
+  const UdfRegistry* udfs = nullptr;
+  StatsRegistry* stats = nullptr;
+  // Multiplies every UDF's CPU cost; models slower/faster cores.
+  double cpu_scale = 1.0;
+  uint64_t seed = 42;
+  // When false, CPU accounting scopes are skipped (the paper's
+  // "tracing disabled" baseline for overhead measurements).
+  bool tracing_enabled = true;
+  // 0 = unlimited. Cache datasets fail with ResourceExhausted if
+  // materialization would exceed this.
+  uint64_t memory_budget_bytes = 0;
+  std::shared_ptr<std::atomic<bool>> cancelled =
+      std::make_shared<std::atomic<bool>>(false);
+
+  bool is_cancelled() const {
+    return cancelled->load(std::memory_order_relaxed);
+  }
+};
+
+class IteratorBase {
+ public:
+  IteratorBase(PipelineContext* ctx, IteratorStats* stats)
+      : ctx_(ctx), stats_(stats) {}
+  virtual ~IteratorBase() = default;
+
+  IteratorBase(const IteratorBase&) = delete;
+  IteratorBase& operator=(const IteratorBase&) = delete;
+
+  // Yields the next element or sets *end_of_sequence. Thread-compatible
+  // (callers serialize access; parallel ops serialize child pulls).
+  Status GetNext(Element* out, bool* end_of_sequence);
+
+  IteratorStats* stats() const { return stats_; }
+
+ protected:
+  virtual Status GetNextInternal(Element* out, bool* end_of_sequence) = 0;
+
+  PipelineContext* ctx_;
+  IteratorStats* stats_;
+};
+
+class DatasetBase : public std::enable_shared_from_this<DatasetBase> {
+ public:
+  DatasetBase(NodeDef def, std::vector<std::shared_ptr<DatasetBase>> inputs)
+      : def_(std::move(def)), inputs_(std::move(inputs)) {}
+  virtual ~DatasetBase() = default;
+
+  const NodeDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  const std::string& op() const { return def_.op; }
+  const std::vector<std::shared_ptr<DatasetBase>>& inputs() const {
+    return inputs_;
+  }
+
+  virtual StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const = 0;
+
+  // Statically known output cardinality; kUnknownCardinality if it
+  // cannot be derived without running.
+  virtual int64_t Cardinality() const { return kUnknownCardinality; }
+
+  // Marks any partially-filled materialization as complete so later
+  // iterators behave as if a full epoch had already run. This is the
+  // paper's §B steady-state simulation: "truncating the cached data"
+  // lets a tracer or pick_best comparison observe warm-cache rates
+  // without paying a whole cold epoch. Default: stateless, no-op.
+  virtual void SimulateSteadyState() {}
+
+ protected:
+  IteratorStats* StatsFor(PipelineContext* ctx) const {
+    return ctx->stats->GetOrCreate(def_.name, def_.op);
+  }
+
+  NodeDef def_;
+  std::vector<std::shared_ptr<DatasetBase>> inputs_;
+};
+
+using DatasetPtr = std::shared_ptr<DatasetBase>;
+
+// Instantiates the GraphDef into a dataset tree rooted at graph.output().
+StatusOr<DatasetPtr> InstantiateGraph(const GraphDef& graph,
+                                      PipelineContext* ctx);
+
+}  // namespace plumber

@@ -1,0 +1,47 @@
+// The unit of data flowing through a pipeline.
+//
+// An Element is a list of byte buffers ("components"): one buffer for a
+// single training example, or one buffer per example after batching.
+// Buffers carry real bytes so cache memory accounting, transform
+// amplification ratios, and copy costs behave like the real system.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace plumber {
+
+using Buffer = std::vector<uint8_t>;
+
+struct Element {
+  std::vector<Buffer> components;
+  // Monotone sequence number assigned by the producing source; used for
+  // deterministic filtering and by tests to check ordering.
+  uint64_t sequence = 0;
+
+  size_t TotalBytes() const {
+    size_t total = 0;
+    for (const auto& c : components) total += c.size();
+    return total;
+  }
+
+  bool empty() const { return components.empty(); }
+
+  static Element FromBuffer(Buffer b, uint64_t sequence = 0) {
+    Element e;
+    e.components.push_back(std::move(b));
+    e.sequence = sequence;
+    return e;
+  }
+
+  // Deep copy (buffers duplicated); Elements are otherwise moved.
+  Element Clone() const {
+    Element e;
+    e.components = components;
+    e.sequence = sequence;
+    return e;
+  }
+};
+
+}  // namespace plumber

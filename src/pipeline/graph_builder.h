@@ -1,0 +1,60 @@
+// Fluent construction of GraphDefs (the "one line of code" user API's
+// C++ equivalent). Each method appends a node and returns its name for
+// chaining; Build() validates and returns the program.
+#pragma once
+
+#include <string>
+
+#include "src/pipeline/graph_def.h"
+
+namespace plumber {
+
+class GraphBuilder {
+ public:
+  std::string Range(const std::string& name, int64_t count);
+  std::string FileList(const std::string& name, const std::string& prefix);
+  std::string TfRecord(const std::string& name, const std::string& input);
+  std::string Interleave(const std::string& name, const std::string& input,
+                         int cycle_length, int parallelism,
+                         int block_length = 1);
+  std::string Map(const std::string& name, const std::string& input,
+                  const std::string& udf, int parallelism = 1,
+                  bool deterministic = true);
+  // A map stage the framework cannot parallelize (tunable=false).
+  std::string SequentialMap(const std::string& name, const std::string& input,
+                            const std::string& udf);
+  std::string Filter(const std::string& name, const std::string& input,
+                     const std::string& udf);
+  std::string Shuffle(const std::string& name, const std::string& input,
+                      int64_t buffer_size, int64_t seed = 7);
+  std::string ShuffleAndRepeat(const std::string& name,
+                               const std::string& input, int64_t buffer_size,
+                               int64_t count = -1, int64_t seed = 11);
+  std::string Repeat(const std::string& name, const std::string& input,
+                     int64_t count = -1);
+  std::string Take(const std::string& name, const std::string& input,
+                   int64_t count);
+  std::string Skip(const std::string& name, const std::string& input,
+                   int64_t count);
+  std::string Batch(const std::string& name, const std::string& input,
+                    int64_t batch_size, bool drop_remainder = true);
+  std::string Prefetch(const std::string& name, const std::string& input,
+                       int64_t buffer_size);
+  std::string Cache(const std::string& name, const std::string& input);
+  std::string Zip(const std::string& name,
+                  const std::vector<std::string>& inputs);
+  std::string Concatenate(const std::string& name,
+                          const std::vector<std::string>& inputs);
+  std::string MapAndBatch(const std::string& name, const std::string& input,
+                          const std::string& udf, int64_t batch_size,
+                          int parallelism = 1, bool drop_remainder = true);
+
+  // Finalizes with `output` as the root.
+  StatusOr<GraphDef> Build(const std::string& output) const;
+
+ private:
+  std::string Add(NodeDef def);
+  GraphDef graph_;
+};
+
+}  // namespace plumber

@@ -1,0 +1,292 @@
+#include "src/pipeline/graph_def.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace plumber {
+
+int64_t AttrValue::AsInt(int64_t fallback) const {
+  if (auto* v = std::get_if<int64_t>(&value_)) return *v;
+  if (auto* v = std::get_if<double>(&value_)) return static_cast<int64_t>(*v);
+  if (auto* v = std::get_if<bool>(&value_)) return *v ? 1 : 0;
+  return fallback;
+}
+
+double AttrValue::AsDouble(double fallback) const {
+  if (auto* v = std::get_if<double>(&value_)) return *v;
+  if (auto* v = std::get_if<int64_t>(&value_)) return static_cast<double>(*v);
+  return fallback;
+}
+
+bool AttrValue::AsBool(bool fallback) const {
+  if (auto* v = std::get_if<bool>(&value_)) return *v;
+  if (auto* v = std::get_if<int64_t>(&value_)) return *v != 0;
+  return fallback;
+}
+
+std::string AttrValue::AsString(const std::string& fallback) const {
+  if (auto* v = std::get_if<std::string>(&value_)) return *v;
+  return fallback;
+}
+
+std::string AttrValue::Serialize() const {
+  std::ostringstream os;
+  if (is_int()) {
+    os << "int " << std::get<int64_t>(value_);
+  } else if (is_double()) {
+    os.precision(17);
+    os << "double " << std::get<double>(value_);
+  } else if (is_bool()) {
+    os << "bool " << (std::get<bool>(value_) ? "true" : "false");
+  } else {
+    os << "string " << std::get<std::string>(value_);
+  }
+  return os.str();
+}
+
+StatusOr<AttrValue> AttrValue::Parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string kind;
+  is >> kind;
+  if (kind == "int") {
+    int64_t v = 0;
+    is >> v;
+    return AttrValue(v);
+  }
+  if (kind == "double") {
+    double v = 0;
+    is >> v;
+    return AttrValue(v);
+  }
+  if (kind == "bool") {
+    std::string v;
+    is >> v;
+    return AttrValue(v == "true");
+  }
+  if (kind == "string") {
+    std::string rest;
+    std::getline(is, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+    return AttrValue(rest);
+  }
+  return InvalidArgumentError("bad attr kind: " + kind);
+}
+
+int64_t NodeDef::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second.AsInt(fallback);
+}
+
+double NodeDef::GetDouble(const std::string& key, double fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second.AsDouble(fallback);
+}
+
+bool NodeDef::GetBool(const std::string& key, bool fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second.AsBool(fallback);
+}
+
+std::string NodeDef::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second.AsString(fallback);
+}
+
+Status GraphDef::AddNode(NodeDef node) {
+  if (node.name.empty()) return InvalidArgumentError("node name empty");
+  if (FindNode(node.name) != nullptr) {
+    return AlreadyExistsError("duplicate node: " + node.name);
+  }
+  nodes_.push_back(std::move(node));
+  return OkStatus();
+}
+
+const NodeDef* GraphDef::FindNode(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+NodeDef* GraphDef::MutableNode(const std::string& name) {
+  for (auto& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> GraphDef::Consumers(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (std::find(n.inputs.begin(), n.inputs.end(), name) != n.inputs.end()) {
+      out.push_back(n.name);
+    }
+  }
+  return out;
+}
+
+Status GraphDef::InsertAfter(const std::string& after, NodeDef node) {
+  if (FindNode(after) == nullptr) {
+    return NotFoundError("no such node: " + after);
+  }
+  if (FindNode(node.name) != nullptr) {
+    return AlreadyExistsError("duplicate node: " + node.name);
+  }
+  node.inputs = {after};
+  for (auto& n : nodes_) {
+    for (auto& input : n.inputs) {
+      if (input == after) input = node.name;
+    }
+  }
+  if (output_ == after) output_ = node.name;
+  nodes_.push_back(std::move(node));
+  return OkStatus();
+}
+
+Status GraphDef::RemoveNode(const std::string& name) {
+  auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                         [&](const NodeDef& n) { return n.name == name; });
+  if (it == nodes_.end()) return NotFoundError("no such node: " + name);
+  if (it->inputs.size() != 1) {
+    return FailedPreconditionError("can only remove single-input nodes");
+  }
+  const std::string child = it->inputs[0];
+  for (auto& n : nodes_) {
+    for (auto& input : n.inputs) {
+      if (input == name) input = child;
+    }
+  }
+  if (output_ == name) output_ = child;
+  nodes_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<std::vector<std::string>> GraphDef::TopologicalOrder() const {
+  RETURN_IF_ERROR(Validate());
+  std::vector<std::string> order;
+  std::set<std::string> visited;
+  std::set<std::string> in_progress;
+  // Iterative DFS from the output.
+  struct Frame {
+    const NodeDef* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  const NodeDef* root = FindNode(output_);
+  stack.push_back({root, 0});
+  in_progress.insert(root->name);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      const std::string& child = f.node->inputs[f.next_input++];
+      if (in_progress.count(child)) {
+        return InvalidArgumentError("cycle through: " + child);
+      }
+      if (!visited.count(child)) {
+        const NodeDef* cn = FindNode(child);
+        stack.push_back({cn, 0});
+        in_progress.insert(child);
+      }
+    } else {
+      order.push_back(f.node->name);
+      visited.insert(f.node->name);
+      in_progress.erase(f.node->name);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+Status GraphDef::Validate() const {
+  if (output_.empty()) return FailedPreconditionError("no output set");
+  std::set<std::string> names;
+  for (const auto& n : nodes_) {
+    if (!names.insert(n.name).second) {
+      return InvalidArgumentError("duplicate node: " + n.name);
+    }
+  }
+  if (!names.count(output_)) {
+    return NotFoundError("output node missing: " + output_);
+  }
+  for (const auto& n : nodes_) {
+    for (const auto& input : n.inputs) {
+      if (!names.count(input)) {
+        return NotFoundError("unresolved input " + input + " of " + n.name);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::string GraphDef::Serialize() const {
+  std::ostringstream os;
+  for (const auto& n : nodes_) {
+    os << "node " << n.name << " " << n.op << "\n";
+    for (const auto& input : n.inputs) os << "  input " << input << "\n";
+    for (const auto& [key, value] : n.attrs) {
+      os << "  attr " << key << " " << value.Serialize() << "\n";
+    }
+    os << "end\n";
+  }
+  os << "output " << output_ << "\n";
+  return os.str();
+}
+
+StatusOr<GraphDef> GraphDef::Parse(const std::string& text) {
+  GraphDef graph;
+  std::istringstream is(text);
+  std::string line;
+  NodeDef current;
+  bool in_node = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string token;
+    ls >> token;
+    if (token.empty() || token[0] == '#') continue;
+    if (token == "node") {
+      if (in_node) return InvalidArgumentError("nested node");
+      current = NodeDef{};
+      ls >> current.name >> current.op;
+      in_node = true;
+    } else if (token == "input") {
+      if (!in_node) return InvalidArgumentError("input outside node");
+      std::string input;
+      ls >> input;
+      current.inputs.push_back(input);
+    } else if (token == "attr") {
+      if (!in_node) return InvalidArgumentError("attr outside node");
+      std::string key, rest;
+      ls >> key;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+      ASSIGN_OR_RETURN(AttrValue value, AttrValue::Parse(rest));
+      current.attrs.emplace(key, std::move(value));
+    } else if (token == "end") {
+      if (!in_node) return InvalidArgumentError("end outside node");
+      RETURN_IF_ERROR(graph.AddNode(std::move(current)));
+      in_node = false;
+    } else if (token == "output") {
+      std::string name;
+      ls >> name;
+      graph.SetOutput(name);
+    } else {
+      return InvalidArgumentError("bad line: " + line);
+    }
+  }
+  if (in_node) return InvalidArgumentError("unterminated node");
+  RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+std::string GraphDef::UniqueName(const std::string& prefix) const {
+  if (FindNode(prefix) == nullptr) return prefix;
+  for (int i = 1;; ++i) {
+    std::string candidate = prefix + "_" + std::to_string(i);
+    if (FindNode(candidate) == nullptr) return candidate;
+  }
+}
+
+}  // namespace plumber

@@ -1,0 +1,262 @@
+// Interleave: parallel reading of record files.
+//
+// Sequential mode (parallelism == 1) implements true cycle/block
+// round-robin over up to cycle_length open files, matching tf.data
+// semantics. Parallel mode assigns whole files to `parallelism` reader
+// workers feeding a bounded queue — the read-parallelism knob that
+// drives the parallelism->bandwidth curve for throttled storage.
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <thread>
+
+#include "src/pipeline/ops.h"
+#include "src/util/bounded_queue.h"
+
+namespace plumber {
+namespace {
+
+class InterleaveDataset : public DatasetBase {
+ public:
+  InterleaveDataset(NodeDef def, std::vector<DatasetPtr> inputs)
+      : DatasetBase(std::move(def), std::move(inputs)) {}
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+
+  int parallelism() const {
+    return static_cast<int>(def_.GetInt(kAttrParallelism, 1));
+  }
+  int cycle_length() const {
+    return static_cast<int>(def_.GetInt(kAttrCycleLength, 4));
+  }
+  int block_length() const {
+    return static_cast<int>(def_.GetInt(kAttrBlockLength, 1));
+  }
+};
+
+// Pulls the next filename from the (serialized) child iterator.
+Status NextFilename(IteratorBase* input, IteratorStats* stats,
+                    std::string* name, bool* end) {
+  Element elem;
+  RETURN_IF_ERROR(input->GetNext(&elem, end));
+  if (*end) return OkStatus();
+  stats->RecordConsumed();
+  name->assign(elem.components[0].begin(), elem.components[0].end());
+  return OkStatus();
+}
+
+class SequentialInterleaveIterator : public IteratorBase {
+ public:
+  SequentialInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
+                               std::unique_ptr<IteratorBase> input,
+                               int cycle_length, int block_length)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        cycle_length_(cycle_length < 1 ? 1 : cycle_length),
+        block_length_(block_length < 1 ? 1 : block_length) {}
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    for (;;) {
+      // Top up the cycle with open readers.
+      while (!files_done_ &&
+             static_cast<int>(cycle_.size()) < cycle_length_) {
+        std::string name;
+        bool files_end = false;
+        RETURN_IF_ERROR(NextFilename(input_.get(), stats_, &name, &files_end));
+        if (files_end) {
+          files_done_ = true;
+          break;
+        }
+        ASSIGN_OR_RETURN(auto reader, ctx_->fs->OpenRecord(name));
+        cycle_.push_back(Slot{std::move(reader), 0});
+      }
+      if (cycle_.empty()) {
+        *end = true;
+        return OkStatus();
+      }
+      if (cursor_ >= cycle_.size()) cursor_ = 0;
+      Slot& slot = cycle_[cursor_];
+      Buffer payload;
+      bool file_end = false;
+      RETURN_IF_ERROR(slot.reader->ReadRecord(&payload, &file_end));
+      if (file_end) {
+        cycle_.erase(cycle_.begin() + static_cast<long>(cursor_));
+        continue;
+      }
+      stats_->AddBytesRead(payload.size() + kRecordFramingBytes);
+      *out = Element::FromBuffer(std::move(payload), sequence_++);
+      *end = false;
+      if (++slot.emitted_in_block >= block_length_) {
+        slot.emitted_in_block = 0;
+        ++cursor_;
+      }
+      return OkStatus();
+    }
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<RecordReader> reader;
+    int emitted_in_block = 0;
+  };
+
+  std::unique_ptr<IteratorBase> input_;
+  const int cycle_length_;
+  const int block_length_;
+  std::vector<Slot> cycle_;
+  size_t cursor_ = 0;
+  bool files_done_ = false;
+  uint64_t sequence_ = 0;
+};
+
+class ParallelInterleaveIterator : public IteratorBase {
+ public:
+  ParallelInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
+                             std::unique_ptr<IteratorBase> input,
+                             int parallelism)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        parallelism_(parallelism),
+        queue_(static_cast<size_t>(parallelism) * 4) {
+    stats_->SetParallelism(parallelism_);
+    active_workers_.store(parallelism_);
+    workers_.reserve(parallelism_);
+    for (int i = 0; i < parallelism_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ParallelInterleaveIterator() override {
+    queue_.Cancel();
+    {
+      std::lock_guard<std::mutex> lock(input_mu_);
+      files_done_ = true;
+    }
+    for (auto& w : workers_) w.join();
+  }
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    for (;;) {
+      auto item = queue_.Pop();
+      if (!item.has_value()) {
+        *end = true;
+        return OkStatus();
+      }
+      if (!item->status.ok()) {
+        *end = true;
+        return item->status;
+      }
+      if (item->end) {
+        *end = true;
+        return OkStatus();
+      }
+      *out = std::move(item->element);
+      *end = false;
+      return OkStatus();
+    }
+  }
+
+ private:
+  struct Item {
+    Element element;
+    Status status;
+    bool end = false;
+  };
+
+  void WorkerLoop() {
+    for (;;) {
+      if (ctx_->is_cancelled()) break;
+      std::string name;
+      bool done = false;
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(input_mu_);
+        if (files_done_) break;
+        status = NextFilename(input_.get(), stats_, &name, &done);
+        if (!status.ok() || done) files_done_ = true;
+      }
+      if (!status.ok()) {
+        queue_.Push(Item{{}, status, false});
+        break;
+      }
+      if (done) break;
+      auto reader_or = ctx_->fs->OpenRecord(name);
+      if (!reader_or.ok()) {
+        queue_.Push(Item{{}, reader_or.status(), false});
+        break;
+      }
+      auto reader = std::move(reader_or).value();
+      bool stop = false;
+      for (;;) {
+        Buffer payload;
+        bool file_end = false;
+        Status read_status;
+        {
+          std::optional<CpuAccountingScope> scope;
+          if (ctx_->tracing_enabled) scope.emplace(stats_);
+          read_status = reader->ReadRecord(&payload, &file_end);
+        }
+        if (!read_status.ok()) {
+          queue_.Push(Item{{}, read_status, false});
+          stop = true;
+          break;
+        }
+        if (file_end) break;
+        stats_->AddBytesRead(payload.size() + kRecordFramingBytes);
+        Element elem = Element::FromBuffer(
+            std::move(payload),
+            sequence_.fetch_add(1, std::memory_order_relaxed));
+        if (!queue_.Push(Item{std::move(elem), OkStatus(), false})) {
+          stop = true;  // cancelled
+          break;
+        }
+      }
+      if (stop) break;
+    }
+    if (active_workers_.fetch_sub(1) == 1) {
+      queue_.Push(Item{{}, OkStatus(), true});
+    }
+  }
+
+  std::unique_ptr<IteratorBase> input_;
+  const int parallelism_;
+
+  std::mutex input_mu_;
+  bool files_done_ = false;
+
+  BoundedQueue<Item> queue_;
+  std::atomic<int> active_workers_{0};
+  std::atomic<uint64_t> sequence_{0};
+  std::vector<std::thread> workers_;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> InterleaveDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  IteratorStats* stats = StatsFor(ctx);
+  const int p = parallelism();
+  if (p <= 1) {
+    stats->SetParallelism(1);
+    return std::unique_ptr<IteratorBase>(new SequentialInterleaveIterator(
+        ctx, stats, std::move(input), cycle_length(), block_length()));
+  }
+  return std::unique_ptr<IteratorBase>(
+      new ParallelInterleaveIterator(ctx, stats, std::move(input), p));
+}
+
+}  // namespace
+
+StatusOr<DatasetPtr> MakeInterleaveDataset(NodeDef def,
+                                           std::vector<DatasetPtr> inputs,
+                                           PipelineContext* ctx) {
+  if (inputs.size() != 1) {
+    return InvalidArgumentError("interleave takes one input");
+  }
+  if (ctx->fs == nullptr) {
+    return FailedPreconditionError("interleave requires a filesystem");
+  }
+  return DatasetPtr(new InterleaveDataset(std::move(def), std::move(inputs)));
+}
+
+}  // namespace plumber

@@ -1,0 +1,141 @@
+// Per-iterator runtime statistics and producer-attributed CPU timing.
+//
+// This is the tracing half of Plumber (paper §4.1): every iterator
+// counts elements produced, bytes produced, consumptions from children,
+// and active thread-CPU nanoseconds. CPU attribution follows the
+// paper's rule — "CPU timers stop when Datasets call into their
+// children and start when control is returned" — implemented with a
+// thread-local stack of accounting scopes: entering a child scope
+// charges the elapsed thread-CPU delta to the parent and re-marks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace plumber {
+
+class IteratorStats {
+ public:
+  explicit IteratorStats(std::string name, std::string op)
+      : name_(std::move(name)), op_(std::move(op)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& op() const { return op_; }
+
+  void RecordProduced(uint64_t bytes) {
+    elements_produced_.fetch_add(1, std::memory_order_relaxed);
+    bytes_produced_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordConsumed() {
+    elements_consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCpuNanos(int64_t ns) {
+    if (ns > 0) cpu_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void AddBytesRead(uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void SetParallelism(int p) {
+    parallelism_.store(p, std::memory_order_relaxed);
+  }
+  void SetUdfName(std::string udf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    udf_name_ = std::move(udf);
+  }
+  void RecordQueueEmptyFraction(double f) {
+    queue_empty_fraction_.store(f, std::memory_order_relaxed);
+  }
+  void AddCachedBytes(int64_t bytes) {
+    cached_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t elements_produced() const {
+    return elements_produced_.load(std::memory_order_relaxed);
+  }
+  uint64_t elements_consumed() const {
+    return elements_consumed_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_produced() const {
+    return bytes_produced_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t cpu_ns() const { return cpu_ns_.load(std::memory_order_relaxed); }
+  int parallelism() const {
+    return parallelism_.load(std::memory_order_relaxed);
+  }
+  std::string udf_name() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return udf_name_;
+  }
+  double queue_empty_fraction() const {
+    return queue_empty_fraction_.load(std::memory_order_relaxed);
+  }
+  int64_t cached_bytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  const std::string name_;
+  const std::string op_;
+  std::atomic<uint64_t> elements_produced_{0};
+  std::atomic<uint64_t> elements_consumed_{0};
+  std::atomic<uint64_t> bytes_produced_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<int64_t> cpu_ns_{0};
+  std::atomic<int> parallelism_{1};
+  std::atomic<double> queue_empty_fraction_{0};
+  std::atomic<int64_t> cached_bytes_{0};
+  mutable std::mutex mu_;
+  std::string udf_name_;
+};
+
+// Immutable copy of one iterator's counters; the tracer works on these.
+struct IteratorStatsSnapshot {
+  std::string name;
+  std::string op;
+  uint64_t elements_produced = 0;
+  uint64_t elements_consumed = 0;
+  uint64_t bytes_produced = 0;
+  uint64_t bytes_read = 0;
+  int64_t cpu_ns = 0;
+  int parallelism = 1;
+  std::string udf_name;
+  double queue_empty_fraction = 0;
+  int64_t cached_bytes = 0;
+};
+
+class StatsRegistry {
+ public:
+  // Returns the stats object for `name`, creating it if needed.
+  IteratorStats* GetOrCreate(const std::string& name, const std::string& op);
+  IteratorStats* Find(const std::string& name) const;
+
+  std::vector<IteratorStatsSnapshot> Snapshot() const;
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<IteratorStats>> stats_;
+};
+
+// RAII accounting scope. While a scope for stats S is on top of the
+// calling thread's stack, elapsed thread-CPU time is charged to S.
+class CpuAccountingScope {
+ public:
+  explicit CpuAccountingScope(IteratorStats* stats);
+  ~CpuAccountingScope();
+
+  CpuAccountingScope(const CpuAccountingScope&) = delete;
+  CpuAccountingScope& operator=(const CpuAccountingScope&) = delete;
+};
+
+}  // namespace plumber

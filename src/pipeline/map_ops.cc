@@ -1,0 +1,319 @@
+// Map (sequential + parallel) and filter operators.
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "src/pipeline/ops.h"
+#include "src/util/bounded_queue.h"
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+uint64_t NodeSeed(const PipelineContext* ctx, const NodeDef& def) {
+  uint64_t h = ctx->seed;
+  for (char c : def.name) h = SplitMix64(h ^ static_cast<uint8_t>(c));
+  return h;
+}
+
+// ------------------------------------------------------------------ map
+class MapDataset : public DatasetBase {
+ public:
+  MapDataset(NodeDef def, std::vector<DatasetPtr> inputs, const UdfSpec* udf)
+      : DatasetBase(std::move(def), std::move(inputs)), udf_(udf) {}
+
+  int64_t Cardinality() const override { return inputs_[0]->Cardinality(); }
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+
+  const UdfSpec* udf() const { return udf_; }
+  int parallelism() const {
+    return static_cast<int>(def_.GetInt(kAttrParallelism, 1));
+  }
+  bool deterministic() const { return def_.GetBool(kAttrDeterministic, true); }
+
+ private:
+  const UdfSpec* udf_;
+};
+
+class SequentialMapIterator : public IteratorBase {
+ public:
+  SequentialMapIterator(PipelineContext* ctx, IteratorStats* stats,
+                        std::unique_ptr<IteratorBase> input,
+                        const UdfSpec* udf, uint64_t seed)
+      : IteratorBase(ctx, stats), input_(std::move(input)), udf_(udf),
+        seed_(seed) {}
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    Element in;
+    RETURN_IF_ERROR(input_->GetNext(&in, end));
+    if (*end) return OkStatus();
+    stats_->RecordConsumed();
+    *out = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
+                         SplitMix64(seed_ ^ in.sequence));
+    return OkStatus();
+  }
+
+ private:
+  std::unique_ptr<IteratorBase> input_;
+  const UdfSpec* udf_;
+  const uint64_t seed_;
+};
+
+// Parallel map: N workers pull from the (serialized) child, execute the
+// UDF, and push to a bounded output queue. Deterministic mode restores
+// input order with a reorder buffer keyed by a pull-time ticket.
+class ParallelMapIterator : public IteratorBase {
+ public:
+  ParallelMapIterator(PipelineContext* ctx, IteratorStats* stats,
+                      std::unique_ptr<IteratorBase> input, const UdfSpec* udf,
+                      int parallelism, bool deterministic, uint64_t seed)
+      : IteratorBase(ctx, stats),
+        input_(std::move(input)),
+        udf_(udf),
+        parallelism_(parallelism),
+        deterministic_(deterministic),
+        seed_(seed),
+        queue_(static_cast<size_t>(parallelism) * 2) {
+    stats_->SetParallelism(parallelism_);
+    active_workers_.store(parallelism_);
+    workers_.reserve(parallelism_);
+    for (int i = 0; i < parallelism_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ParallelMapIterator() override {
+    queue_.Cancel();
+    {
+      std::lock_guard<std::mutex> lock(input_mu_);
+      input_done_ = true;
+    }
+    for (auto& w : workers_) w.join();
+  }
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    if (!first_error_.ok()) {
+      *end = true;
+      return first_error_;
+    }
+    for (;;) {
+      if (deterministic_) {
+        auto it = pending_.find(expected_);
+        if (it != pending_.end()) {
+          *out = std::move(it->second);
+          pending_.erase(it);
+          ++expected_;
+          *end = false;
+          return OkStatus();
+        }
+        if (end_received_ && pending_.empty()) {
+          *end = true;
+          return OkStatus();
+        }
+      }
+      auto item = queue_.Pop();
+      if (!item.has_value()) {  // cancelled
+        *end = true;
+        return OkStatus();
+      }
+      if (!item->status.ok()) {
+        first_error_ = item->status;
+        *end = true;
+        return first_error_;
+      }
+      if (item->end) {
+        end_received_ = true;
+        if (!deterministic_ || pending_.empty()) {
+          if (deterministic_) continue;  // drain pending via loop head
+          *end = true;
+          return OkStatus();
+        }
+        continue;
+      }
+      if (!deterministic_) {
+        *out = std::move(item->element);
+        *end = false;
+        return OkStatus();
+      }
+      pending_.emplace(item->order, std::move(item->element));
+    }
+  }
+
+ private:
+  struct Item {
+    uint64_t order = 0;
+    Element element;
+    Status status;
+    bool end = false;
+  };
+
+  void WorkerLoop() {
+    for (;;) {
+      if (ctx_->is_cancelled()) break;
+      Element in;
+      bool end = false;
+      uint64_t order = 0;
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(input_mu_);
+        if (input_done_) break;
+        status = input_->GetNext(&in, &end);
+        if (!status.ok() || end) {
+          input_done_ = true;
+        } else {
+          order = next_order_++;
+          stats_->RecordConsumed();
+        }
+      }
+      if (!status.ok()) {
+        queue_.Push(Item{0, {}, status, false});
+        break;
+      }
+      if (end) break;
+      Element result;
+      {
+        std::optional<CpuAccountingScope> scope;
+        if (ctx_->tracing_enabled) scope.emplace(stats_);
+        result = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
+                               SplitMix64(seed_ ^ in.sequence));
+      }
+      if (!queue_.Push(Item{order, std::move(result), OkStatus(), false})) {
+        break;  // cancelled
+      }
+    }
+    if (active_workers_.fetch_sub(1) == 1) {
+      queue_.Push(Item{~0ULL, {}, OkStatus(), true});
+    }
+  }
+
+  std::unique_ptr<IteratorBase> input_;
+  const UdfSpec* udf_;
+  const int parallelism_;
+  const bool deterministic_;
+  const uint64_t seed_;
+
+  std::mutex input_mu_;
+  bool input_done_ = false;
+  uint64_t next_order_ = 0;
+
+  BoundedQueue<Item> queue_;
+  std::atomic<int> active_workers_{0};
+  std::vector<std::thread> workers_;
+
+  // Consumer-side state (accessed only from GetNext).
+  std::map<uint64_t, Element> pending_;
+  uint64_t expected_ = 0;
+  bool end_received_ = false;
+  Status first_error_;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> MapDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  const uint64_t seed = NodeSeed(ctx, def_);
+  IteratorStats* stats = StatsFor(ctx);
+  stats->SetUdfName(udf_->name);
+  const int p = parallelism();
+  if (p <= 1) {
+    stats->SetParallelism(1);
+    return std::unique_ptr<IteratorBase>(new SequentialMapIterator(
+        ctx, stats, std::move(input), udf_, seed));
+  }
+  return std::unique_ptr<IteratorBase>(new ParallelMapIterator(
+      ctx, stats, std::move(input), udf_, p, deterministic(), seed));
+}
+
+// ---------------------------------------------------------------- filter
+class FilterDataset : public DatasetBase {
+ public:
+  FilterDataset(NodeDef def, std::vector<DatasetPtr> inputs,
+                const UdfSpec* udf)
+      : DatasetBase(std::move(def), std::move(inputs)), udf_(udf) {}
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+
+ private:
+  const UdfSpec* udf_;
+};
+
+class FilterIterator : public IteratorBase {
+ public:
+  FilterIterator(PipelineContext* ctx, IteratorStats* stats,
+                 std::unique_ptr<IteratorBase> input, const UdfSpec* udf,
+                 uint64_t seed)
+      : IteratorBase(ctx, stats), input_(std::move(input)), udf_(udf),
+        seed_(seed) {}
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    for (;;) {
+      Element in;
+      RETURN_IF_ERROR(input_->GetNext(&in, end));
+      if (*end) return OkStatus();
+      stats_->RecordConsumed();
+      if (ExecuteFilterUdf(*udf_, in, ctx_->cpu_scale, seed_)) {
+        *out = std::move(in);
+        return OkStatus();
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<IteratorBase> input_;
+  const UdfSpec* udf_;
+  const uint64_t seed_;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> FilterDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  IteratorStats* stats = StatsFor(ctx);
+  stats->SetUdfName(udf_->name);
+  return std::unique_ptr<IteratorBase>(new FilterIterator(
+      ctx, stats, std::move(input), udf_, NodeSeed(ctx, def_)));
+}
+
+const UdfSpec* LookupUdf(const NodeDef& def, PipelineContext* ctx,
+                         Status* status) {
+  if (ctx->udfs == nullptr) {
+    *status = FailedPreconditionError("no udf registry");
+    return nullptr;
+  }
+  const std::string udf_name = def.GetString(kAttrUdf);
+  const UdfSpec* spec = ctx->udfs->Find(udf_name);
+  if (spec == nullptr) {
+    *status = NotFoundError("no such udf: " + udf_name);
+  }
+  return spec;
+}
+
+}  // namespace
+
+StatusOr<DatasetPtr> MakeMapDataset(NodeDef def,
+                                    std::vector<DatasetPtr> inputs,
+                                    PipelineContext* ctx) {
+  if (inputs.size() != 1) return InvalidArgumentError("map takes one input");
+  Status status;
+  const UdfSpec* udf = LookupUdf(def, ctx, &status);
+  if (udf == nullptr) return status;
+  return DatasetPtr(new MapDataset(std::move(def), std::move(inputs), udf));
+}
+
+StatusOr<DatasetPtr> MakeFilterDataset(NodeDef def,
+                                       std::vector<DatasetPtr> inputs,
+                                       PipelineContext* ctx) {
+  if (inputs.size() != 1) {
+    return InvalidArgumentError("filter takes one input");
+  }
+  Status status;
+  const UdfSpec* udf = LookupUdf(def, ctx, &status);
+  if (udf == nullptr) return status;
+  return DatasetPtr(new FilterDataset(std::move(def), std::move(inputs), udf));
+}
+
+}  // namespace plumber

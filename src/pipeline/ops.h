@@ -1,0 +1,108 @@
+// Operator factories. Each creates a DatasetBase for one GraphDef node.
+//
+// Supported ops and their attributes:
+//   range              count:int (-1 = infinite)
+//   file_list          prefix:string (lists SimFilesystem files)
+//   tfrecord           input: file_list; sequential record reader
+//   interleave         input: file_list; cycle_length:int, block_length:int,
+//                      parallelism:int — parallel record readers
+//   map                input; udf:string, parallelism:int (1 = sequential),
+//                      deterministic:bool
+//   filter             input; udf:string
+//   shuffle            input; buffer_size:int, seed:int
+//   shuffle_and_repeat input; buffer_size:int, seed:int, count:int
+//   repeat             input; count:int (-1 = infinite)
+//   take               input; count:int
+//   skip               input; count:int
+//   batch              input; batch_size:int, drop_remainder:bool
+//   prefetch           input; buffer_size:int
+//   cache              input; (bounded by PipelineContext memory budget)
+//   zip                2+ inputs; pairs one element from each per output
+//   concatenate        2+ inputs; drains them in order
+//   map_and_batch      input; udf:string, parallelism:int,
+//                      batch_size:int, drop_remainder:bool — fused
+//                      parallel map + batch (one handoff per batch)
+#pragma once
+
+#include "src/pipeline/dataset.h"
+
+namespace plumber {
+
+using DatasetFactory = StatusOr<DatasetPtr> (*)(NodeDef,
+                                                std::vector<DatasetPtr>,
+                                                PipelineContext*);
+
+StatusOr<DatasetPtr> MakeRangeDataset(NodeDef def,
+                                      std::vector<DatasetPtr> inputs,
+                                      PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeFileListDataset(NodeDef def,
+                                         std::vector<DatasetPtr> inputs,
+                                         PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeTfRecordDataset(NodeDef def,
+                                         std::vector<DatasetPtr> inputs,
+                                         PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeInterleaveDataset(NodeDef def,
+                                           std::vector<DatasetPtr> inputs,
+                                           PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeMapDataset(NodeDef def,
+                                    std::vector<DatasetPtr> inputs,
+                                    PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeFilterDataset(NodeDef def,
+                                       std::vector<DatasetPtr> inputs,
+                                       PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeShuffleDataset(NodeDef def,
+                                        std::vector<DatasetPtr> inputs,
+                                        PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeShuffleAndRepeatDataset(NodeDef def,
+                                                 std::vector<DatasetPtr> inputs,
+                                                 PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeRepeatDataset(NodeDef def,
+                                       std::vector<DatasetPtr> inputs,
+                                       PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeTakeDataset(NodeDef def,
+                                     std::vector<DatasetPtr> inputs,
+                                     PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeSkipDataset(NodeDef def,
+                                     std::vector<DatasetPtr> inputs,
+                                     PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeBatchDataset(NodeDef def,
+                                      std::vector<DatasetPtr> inputs,
+                                      PipelineContext* ctx);
+StatusOr<DatasetPtr> MakePrefetchDataset(NodeDef def,
+                                         std::vector<DatasetPtr> inputs,
+                                         PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeCacheDataset(NodeDef def,
+                                      std::vector<DatasetPtr> inputs,
+                                      PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeZipDataset(NodeDef def,
+                                    std::vector<DatasetPtr> inputs,
+                                    PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeConcatenateDataset(NodeDef def,
+                                            std::vector<DatasetPtr> inputs,
+                                            PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeMapAndBatchDataset(NodeDef def,
+                                            std::vector<DatasetPtr> inputs,
+                                            PipelineContext* ctx);
+
+// Well-known attribute keys shared by the rewriter and the tuners.
+inline constexpr char kAttrParallelism[] = "parallelism";
+inline constexpr char kAttrBufferSize[] = "buffer_size";
+inline constexpr char kAttrCycleLength[] = "cycle_length";
+inline constexpr char kAttrUdf[] = "udf";
+inline constexpr char kAttrCount[] = "count";
+inline constexpr char kAttrBatchSize[] = "batch_size";
+inline constexpr char kAttrPrefix[] = "prefix";
+inline constexpr char kAttrSeed[] = "seed";
+inline constexpr char kAttrDeterministic[] = "deterministic";
+inline constexpr char kAttrBlockLength[] = "block_length";
+inline constexpr char kAttrDropRemainder[] = "drop_remainder";
+// When false, tuners must not touch this node's parallelism (models
+// stages the framework cannot parallelize, e.g. sequential packing).
+inline constexpr char kAttrTunable[] = "tunable";
+
+// True if the op kind supports a tunable `parallelism` attribute.
+bool OpSupportsParallelism(const std::string& op);
+// True if the op kind is a data source (reads from storage).
+bool OpIsSource(const std::string& op);
+
+}  // namespace plumber

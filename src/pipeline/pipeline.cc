@@ -1,0 +1,45 @@
+#include "src/pipeline/pipeline.h"
+
+namespace plumber {
+
+Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
+    : graph_(std::move(graph)) {
+  ctx_.fs = options.fs;
+  ctx_.udfs = options.udfs;
+  ctx_.stats = &stats_;
+  ctx_.cpu_scale = options.cpu_scale;
+  ctx_.seed = options.seed;
+  ctx_.tracing_enabled = options.tracing_enabled;
+  ctx_.memory_budget_bytes = options.memory_budget_bytes;
+}
+
+StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(
+    GraphDef graph, const PipelineOptions& options) {
+  RETURN_IF_ERROR(graph.Validate());
+  std::unique_ptr<Pipeline> pipeline(
+      new Pipeline(std::move(graph), options));
+  ASSIGN_OR_RETURN(pipeline->root_,
+                   InstantiateGraph(pipeline->graph_, &pipeline->ctx_));
+  return pipeline;
+}
+
+StatusOr<std::unique_ptr<IteratorBase>> Pipeline::MakeIterator() {
+  return root_->MakeIterator(&ctx_);
+}
+
+namespace {
+
+void SimulateSteadyStateRecursive(DatasetBase* dataset) {
+  dataset->SimulateSteadyState();
+  for (const auto& input : dataset->inputs()) {
+    SimulateSteadyStateRecursive(input.get());
+  }
+}
+
+}  // namespace
+
+void Pipeline::SimulateSteadyState() {
+  SimulateSteadyStateRecursive(root_.get());
+}
+
+}  // namespace plumber

@@ -1,0 +1,76 @@
+#include "src/pipeline/runner.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+
+RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
+  RunResult result;
+  Element element;
+  // Warmup (not measured).
+  for (int64_t i = 0; i < options.warmup_batches; ++i) {
+    bool end = false;
+    result.status = iterator->GetNext(&element, &end);
+    if (!result.status.ok() || end) {
+      result.reached_end = end;
+      return result;
+    }
+  }
+  const int64_t start_wall = WallNanos();
+  const int64_t start_cpu = ProcessCpuNanos();
+  const int64_t deadline =
+      options.max_seconds > 0
+          ? start_wall + static_cast<int64_t>(options.max_seconds * 1e9)
+          : 0;
+  int64_t next_latency_total = 0;
+  for (;;) {
+    if (options.max_batches > 0 && result.batches >= options.max_batches) {
+      break;
+    }
+    if (deadline > 0 && WallNanos() >= deadline) break;
+    bool end = false;
+    const int64_t t0 = WallNanos();
+    result.status = iterator->GetNext(&element, &end);
+    next_latency_total += WallNanos() - t0;
+    if (!result.status.ok()) break;
+    if (end) {
+      result.reached_end = true;
+      break;
+    }
+    ++result.batches;
+    result.examples += static_cast<int64_t>(element.components.size());
+    if (options.model_step_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.model_step_seconds));
+    }
+  }
+  result.wall_seconds = (WallNanos() - start_wall) * 1e-9;
+  result.process_cpu_seconds = (ProcessCpuNanos() - start_cpu) * 1e-9;
+  if (result.wall_seconds > 0) {
+    result.batches_per_second = result.batches / result.wall_seconds;
+    result.examples_per_second = result.examples / result.wall_seconds;
+    result.mean_cores_used =
+        result.process_cpu_seconds / result.wall_seconds;
+  }
+  if (result.batches > 0) {
+    result.mean_next_latency_seconds =
+        next_latency_total * 1e-9 / result.batches;
+  }
+  return result;
+}
+
+RunResult RunPipeline(Pipeline& pipeline, const RunOptions& options) {
+  auto iterator_or = pipeline.MakeIterator();
+  if (!iterator_or.ok()) {
+    RunResult result;
+    result.status = iterator_or.status();
+    return result;
+  }
+  auto iterator = std::move(iterator_or).value();
+  return RunIterator(iterator.get(), options);
+}
+
+}  // namespace plumber

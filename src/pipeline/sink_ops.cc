@@ -1,0 +1,300 @@
+// Grouping and buffering operators: batch, prefetch, cache.
+#include <optional>
+#include <thread>
+
+#include "src/pipeline/ops.h"
+#include "src/util/bounded_queue.h"
+
+namespace plumber {
+namespace {
+
+// ----------------------------------------------------------------- batch
+class BatchDataset : public DatasetBase {
+ public:
+  BatchDataset(NodeDef def, std::vector<DatasetPtr> inputs)
+      : DatasetBase(std::move(def), std::move(inputs)) {}
+
+  int64_t Cardinality() const override {
+    const int64_t child = inputs_[0]->Cardinality();
+    const int64_t batch = def_.GetInt(kAttrBatchSize, 1);
+    if (child < 0 || batch <= 0) return child;
+    return def_.GetBool(kAttrDropRemainder, true)
+               ? child / batch
+               : (child + batch - 1) / batch;
+  }
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+};
+
+class BatchIterator : public IteratorBase {
+ public:
+  BatchIterator(PipelineContext* ctx, IteratorStats* stats,
+                std::unique_ptr<IteratorBase> input, int64_t batch_size,
+                bool drop_remainder)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        batch_size_(batch_size < 1 ? 1 : batch_size),
+        drop_remainder_(drop_remainder) {}
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    out->components.clear();
+    int64_t gathered = 0;
+    for (; gathered < batch_size_; ++gathered) {
+      Element in;
+      bool in_end = false;
+      RETURN_IF_ERROR(input_->GetNext(&in, &in_end));
+      if (in_end) break;
+      stats_->RecordConsumed();
+      if (gathered == 0) out->sequence = in.sequence;
+      for (auto& c : in.components) out->components.push_back(std::move(c));
+    }
+    if (gathered == 0 || (drop_remainder_ && gathered < batch_size_)) {
+      *end = true;
+      return OkStatus();
+    }
+    *end = false;
+    return OkStatus();
+  }
+
+ private:
+  std::unique_ptr<IteratorBase> input_;
+  const int64_t batch_size_;
+  const bool drop_remainder_;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> BatchDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  return std::unique_ptr<IteratorBase>(new BatchIterator(
+      ctx, StatsFor(ctx), std::move(input), def_.GetInt(kAttrBatchSize, 1),
+      def_.GetBool(kAttrDropRemainder, true)));
+}
+
+// --------------------------------------------------------------- prefetch
+// A background thread keeps a bounded buffer of upstream elements so
+// upstream production overlaps downstream consumption.
+class PrefetchDataset : public DatasetBase {
+ public:
+  PrefetchDataset(NodeDef def, std::vector<DatasetPtr> inputs)
+      : DatasetBase(std::move(def), std::move(inputs)) {}
+
+  int64_t Cardinality() const override { return inputs_[0]->Cardinality(); }
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+};
+
+class PrefetchIterator : public IteratorBase {
+ public:
+  PrefetchIterator(PipelineContext* ctx, IteratorStats* stats,
+                   std::unique_ptr<IteratorBase> input, size_t buffer_size)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        queue_(buffer_size) {
+    stats_->SetParallelism(static_cast<int>(buffer_size));
+    thread_ = std::thread([this] { FillLoop(); });
+  }
+
+  ~PrefetchIterator() override {
+    queue_.Cancel();
+    thread_.join();
+  }
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    auto item = queue_.Pop();
+    stats_->RecordQueueEmptyFraction(queue_.EmptyPopFraction());
+    if (!item.has_value()) {  // cancelled before any sentinel
+      *end = true;
+      return OkStatus();
+    }
+    if (!item->status.ok()) {
+      *end = true;
+      return item->status;
+    }
+    if (item->end) {
+      *end = true;
+      return OkStatus();
+    }
+    *out = std::move(item->element);
+    *end = false;
+    return OkStatus();
+  }
+
+ private:
+  struct Item {
+    Element element;
+    Status status;
+    bool end = false;
+  };
+
+  void FillLoop() {
+    for (;;) {
+      if (ctx_->is_cancelled()) return;
+      Element in;
+      bool end = false;
+      Status status = input_->GetNext(&in, &end);
+      stats_->RecordConsumed();
+      if (!status.ok()) {
+        queue_.Push(Item{{}, status, false});
+        return;
+      }
+      if (end) {
+        queue_.Push(Item{{}, OkStatus(), true});
+        return;
+      }
+      if (!queue_.Push(Item{std::move(in), OkStatus(), false})) return;
+    }
+  }
+
+  std::unique_ptr<IteratorBase> input_;
+  BoundedQueue<Item> queue_;
+  std::thread thread_;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> PrefetchDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  return std::unique_ptr<IteratorBase>(new PrefetchIterator(
+      ctx, StatsFor(ctx), std::move(input),
+      static_cast<size_t>(def_.GetInt(kAttrBufferSize, 2))));
+}
+
+// ------------------------------------------------------------------ cache
+// In-memory materialization. The cache lives on the Dataset (not the
+// iterator) so it persists across epochs: the first complete pass fills
+// it, later iterators serve from memory, eliminating all upstream work
+// (the steady state Plumber's cache planner reasons about).
+class CacheDataset : public DatasetBase {
+ public:
+  CacheDataset(NodeDef def, std::vector<DatasetPtr> inputs)
+      : DatasetBase(std::move(def), std::move(inputs)) {}
+
+  int64_t Cardinality() const override { return inputs_[0]->Cardinality(); }
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+
+  // Steady-state simulation (paper §B): treat whatever is materialized
+  // so far as the whole dataset. Serving a truncated dataset preserves
+  // per-element rates, which is all the tracer compares.
+  void SimulateSteadyState() override {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    if (!state_.elements.empty()) state_.complete = true;
+  }
+
+  struct State {
+    std::mutex mu;
+    std::vector<Element> elements;
+    uint64_t bytes = 0;
+    bool complete = false;
+  };
+
+  State* state() const { return &state_; }
+
+ private:
+  mutable State state_;
+};
+
+class CacheIterator : public IteratorBase {
+ public:
+  CacheIterator(PipelineContext* ctx, IteratorStats* stats,
+                const DatasetBase* input_dataset, CacheDataset::State* state)
+      : IteratorBase(ctx, stats), input_dataset_(input_dataset),
+        state_(state) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    serving_ = state_->complete;
+  }
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    if (serving_) {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (serve_index_ >= state_->elements.size()) {
+        *end = true;
+        return OkStatus();
+      }
+      *out = state_->elements[serve_index_++].Clone();
+      *end = false;
+      return OkStatus();
+    }
+    if (input_ == nullptr) {
+      ASSIGN_OR_RETURN(input_, input_dataset_->MakeIterator(ctx_));
+    }
+    Element in;
+    bool in_end = false;
+    RETURN_IF_ERROR(input_->GetNext(&in, &in_end));
+    if (in_end) {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->complete = true;
+      input_.reset();
+      *end = true;
+      return OkStatus();
+    }
+    stats_->RecordConsumed();
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      const uint64_t bytes = in.TotalBytes();
+      if (ctx_->memory_budget_bytes > 0 &&
+          state_->bytes + bytes > ctx_->memory_budget_bytes) {
+        return ResourceExhaustedError(
+            "cache exceeds memory budget at node " + stats_->name());
+      }
+      state_->elements.push_back(in.Clone());
+      state_->bytes += bytes;
+      stats_->AddCachedBytes(static_cast<int64_t>(bytes));
+    }
+    *out = std::move(in);
+    *end = false;
+    return OkStatus();
+  }
+
+ private:
+  const DatasetBase* input_dataset_;
+  CacheDataset::State* state_;
+  std::unique_ptr<IteratorBase> input_;
+  bool serving_ = false;
+  size_t serve_index_ = 0;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> CacheDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  return std::unique_ptr<IteratorBase>(
+      new CacheIterator(ctx, StatsFor(ctx), inputs_[0].get(), state()));
+}
+
+Status RequireOneInput(const std::vector<DatasetPtr>& inputs,
+                       const char* op) {
+  if (inputs.size() != 1) {
+    return InvalidArgumentError(std::string(op) + " takes one input");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<DatasetPtr> MakeBatchDataset(NodeDef def,
+                                      std::vector<DatasetPtr> inputs,
+                                      PipelineContext* ctx) {
+  (void)ctx;
+  RETURN_IF_ERROR(RequireOneInput(inputs, "batch"));
+  return DatasetPtr(new BatchDataset(std::move(def), std::move(inputs)));
+}
+
+StatusOr<DatasetPtr> MakePrefetchDataset(NodeDef def,
+                                         std::vector<DatasetPtr> inputs,
+                                         PipelineContext* ctx) {
+  (void)ctx;
+  RETURN_IF_ERROR(RequireOneInput(inputs, "prefetch"));
+  return DatasetPtr(new PrefetchDataset(std::move(def), std::move(inputs)));
+}
+
+StatusOr<DatasetPtr> MakeCacheDataset(NodeDef def,
+                                      std::vector<DatasetPtr> inputs,
+                                      PipelineContext* ctx) {
+  (void)ctx;
+  RETURN_IF_ERROR(RequireOneInput(inputs, "cache"));
+  return DatasetPtr(new CacheDataset(std::move(def), std::move(inputs)));
+}
+
+}  // namespace plumber

@@ -1,0 +1,29 @@
+#include "src/queueing/operational.h"
+
+#include <algorithm>
+
+namespace plumber {
+
+double VisitRatio(double completions, double parent_completions,
+                  double parent_visit_ratio) {
+  if (parent_completions <= 0) return 0;
+  return (completions / parent_completions) * parent_visit_ratio;
+}
+
+double UtilizationLaw(double throughput, double service_demand) {
+  return throughput * service_demand;
+}
+
+double BottleneckBound(const std::vector<double>& service_demands) {
+  double max_demand = 0;
+  for (double d : service_demands) max_demand = std::max(max_demand, d);
+  if (max_demand <= 0) return 0;
+  return 1.0 / max_demand;
+}
+
+double ResponseTimeBound(double total_demand, double max_demand,
+                         int customers, double think_time) {
+  return std::max(total_demand, customers * max_demand - think_time);
+}
+
+}  // namespace plumber

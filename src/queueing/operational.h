@@ -1,0 +1,32 @@
+// Operational analysis primitives (Denning & Buzen 1978).
+//
+// Plumber models the input pipeline as a closed system under
+// operational analysis: visit ratios convert per-operation completion
+// counts into root units (minibatches), the utilization law relates
+// throughput to per-resource demand, and the bottleneck law bounds
+// system throughput by the slowest resource.
+#pragma once
+
+#include <vector>
+
+namespace plumber {
+
+// Visit ratio recurrence: V_i = (C_i / C_parent) * V_parent, V_root = 1.
+// Returns 0 when the parent has no completions.
+double VisitRatio(double completions, double parent_completions,
+                  double parent_visit_ratio);
+
+// Utilization law: U = X * D, where X is system throughput and D = V*S
+// is the per-root-completion service demand at the resource.
+double UtilizationLaw(double throughput, double service_demand);
+
+// Bottleneck law: X <= 1 / max_i(D_i). Input: service demands in
+// seconds of resource time per root completion.
+double BottleneckBound(const std::vector<double>& service_demands);
+
+// Interactive response-time law lower bound on latency for a closed
+// system with N customers and think time Z: R >= max(D_total, N*D_max - Z).
+double ResponseTimeBound(double total_demand, double max_demand,
+                         int customers, double think_time);
+
+}  // namespace plumber

@@ -1,0 +1,102 @@
+#include "src/tuners/tuner.h"
+
+#include <algorithm>
+
+#include "src/core/rewriter.h"
+#include "src/pipeline/ops.h"
+
+namespace plumber {
+namespace {
+
+class PlumberStepTuner : public StepTuner {
+ public:
+  std::string name() const override { return "plumber"; }
+
+  StatusOr<GraphDef> Step(const GraphDef& current,
+                          const TunerContext& context) override {
+    if (context.model == nullptr) {
+      return FailedPreconditionError("plumber step tuner needs a model");
+    }
+    GraphDef next = current;
+    for (const std::string& node : context.model->RankBottlenecks()) {
+      ASSIGN_OR_RETURN(int parallelism,
+                       rewriter::GetParallelism(next, node));
+      if (parallelism >= context.machine.num_cores) continue;
+      RETURN_IF_ERROR(
+          rewriter::SetParallelism(&next, node, parallelism + 1));
+      return next;
+    }
+    return next;  // converged: every tunable at the core limit
+  }
+};
+
+class RandomWalkTuner : public StepTuner {
+ public:
+  std::string name() const override { return "random"; }
+
+  StatusOr<GraphDef> Step(const GraphDef& current,
+                          const TunerContext& context) override {
+    if (context.rng == nullptr) {
+      return FailedPreconditionError("random walk needs an rng");
+    }
+    GraphDef next = current;
+    const std::vector<std::string> tunables = rewriter::TunableNodes(next);
+    if (tunables.empty()) return next;
+    const std::string& node =
+        tunables[context.rng->UniformInt(tunables.size())];
+    ASSIGN_OR_RETURN(int parallelism, rewriter::GetParallelism(next, node));
+    if (parallelism < context.machine.num_cores) {
+      RETURN_IF_ERROR(
+          rewriter::SetParallelism(&next, node, parallelism + 1));
+    }
+    return next;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StepTuner> MakePlumberStepTuner() {
+  return std::make_unique<PlumberStepTuner>();
+}
+
+std::unique_ptr<StepTuner> MakeRandomWalkTuner() {
+  return std::make_unique<RandomWalkTuner>();
+}
+
+double LocalEstimateMaxRate(const PipelineModel& model) {
+  // Allocate every core not used by other stages to the current
+  // bottleneck; predicted rate is the bottleneck's scaled capacity.
+  // Oscillates as the bottleneck changes (paper §5.1).
+  const auto ranking = model.RankBottlenecks();
+  if (ranking.empty()) return model.observed_rate();
+  const NodeModel* bottleneck = model.Find(ranking.front());
+  double other_cores = 0;
+  for (const auto& node : model.nodes()) {
+    if (node.name != bottleneck->name) other_cores += node.observed_cores;
+  }
+  const double available =
+      std::max(1.0, model.machine().num_cores - other_cores);
+  return bottleneck->rate_per_core * available;
+}
+
+GraphDef NaiveConfiguration(GraphDef graph, bool with_prefetch,
+                            int prefetch_buffer) {
+  Status status = rewriter::SetAllParallelism(&graph, 1);
+  (void)status;
+  if (with_prefetch) {
+    status = rewriter::EnsureRootPrefetch(&graph, prefetch_buffer);
+    (void)status;
+  }
+  return graph;
+}
+
+GraphDef HeuristicConfiguration(GraphDef graph, int num_cores) {
+  Status status =
+      rewriter::SetAllParallelism(&graph, std::max(1, num_cores));
+  (void)status;
+  status = rewriter::EnsureRootPrefetch(&graph, std::max(2, num_cores / 4));
+  (void)status;
+  return graph;
+}
+
+}  // namespace plumber

@@ -1,0 +1,59 @@
+// Tuner interfaces and baseline configurators (paper §5).
+//
+// The evaluation compares four policies:
+//   Naive      — parallelism 1 everywhere (optionally with prefetching)
+//   HEURISTIC  — every tunable set to the machine's core count
+//   AUTOTUNE   — M/M/1/k output-latency model + hill climbing (autotune.h)
+//   Plumber    — step tuner (rank by parallelism-scaled rates) and the
+//                full LP optimizer (core/optimizer.h)
+// plus an uninformed Random walk for Fig. 6.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/model.h"
+#include "src/pipeline/graph_def.h"
+#include "src/util/rng.h"
+
+namespace plumber {
+
+// Context handed to step tuners each optimization step.
+struct TunerContext {
+  // Model built from the most recent trace of the current config; may
+  // be null for tuners that do not need it (random walk).
+  const PipelineModel* model = nullptr;
+  MachineSpec machine;
+  Rng* rng = nullptr;
+};
+
+// A tuner that improves the configuration one step at a time (the
+// Fig. 6 sequential-tuning protocol).
+class StepTuner {
+ public:
+  virtual ~StepTuner() = default;
+  virtual std::string name() const = 0;
+  // Returns the next configuration; returning the input unchanged means
+  // the tuner has converged.
+  virtual StatusOr<GraphDef> Step(const GraphDef& current,
+                                  const TunerContext& context) = 0;
+};
+
+// Plumber's step tuner: parallelize the node with the lowest
+// parallelism-scaled rate (paper §5.1).
+std::unique_ptr<StepTuner> MakePlumberStepTuner();
+
+// Uninformed baseline: +1 parallelism on a uniformly random tunable.
+std::unique_ptr<StepTuner> MakeRandomWalkTuner();
+
+// "Local" allocator for Fig. 7's baseline: like Plumber's step tuner
+// but its *prediction* assigns all remaining cores to the current
+// bottleneck (see autotune.h's estimators for the prediction side).
+double LocalEstimateMaxRate(const PipelineModel& model);
+
+// One-shot configurators.
+GraphDef NaiveConfiguration(GraphDef graph, bool with_prefetch = true,
+                            int prefetch_buffer = 2);
+GraphDef HeuristicConfiguration(GraphDef graph, int num_cores);
+
+}  // namespace plumber

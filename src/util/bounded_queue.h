@@ -1,0 +1,129 @@
+// A bounded multi-producer multi-consumer blocking queue.
+//
+// Used by Prefetch and ParallelMap iterators. Supports cancellation so
+// iterator destruction can unblock worker threads, and tracks simple
+// occupancy statistics used by the prefetch planner (idleness signal).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Blocks until space is available or the queue is cancelled.
+  // Returns false if cancelled.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cancelled_ && items_.size() >= capacity_) {
+      BlockedRegion blocked;  // producer stall: not CPU work
+      not_full_.wait(lock,
+                     [&] { return cancelled_ || items_.size() < capacity_; });
+    }
+    if (cancelled_) return false;
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    occupancy_sum_ += items_.size();
+    ++occupancy_samples_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false if full or cancelled.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    occupancy_sum_ += items_.size();
+    ++occupancy_samples_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is cancelled and
+  // drained. Returns nullopt on cancellation with an empty queue.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      ++empty_pops_;
+      if (!cancelled_) {
+        BlockedRegion blocked;  // consumer stall: not CPU work
+        not_empty_.wait(lock, [&] { return cancelled_ || !items_.empty(); });
+      }
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Unblocks all waiters; subsequent pushes fail, pops drain remaining
+  // items then return nullopt.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Fraction of Pop calls that found the queue empty (consumer stalls).
+  double EmptyPopFraction() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t pops = total_pushed_ + empty_pops_;
+    return pops == 0 ? 0.0 : static_cast<double>(empty_pops_) / pops;
+  }
+
+  // Mean queue occupancy observed at push time.
+  double MeanOccupancy() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return occupancy_samples_ == 0
+               ? 0.0
+               : static_cast<double>(occupancy_sum_) / occupancy_samples_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool cancelled_ = false;
+  uint64_t total_pushed_ = 0;
+  uint64_t empty_pops_ = 0;
+  uint64_t occupancy_sum_ = 0;
+  uint64_t occupancy_samples_ = 0;
+};
+
+}  // namespace plumber

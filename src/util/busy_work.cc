@@ -1,0 +1,113 @@
+#include "src/util/busy_work.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "src/util/cpu_timer.h"
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+// One round of the spin kernel: a few dependent xorshift-multiply steps.
+inline uint64_t SpinRound(uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  x *= 0x2545f4914f6cdd1dULL;
+  return x;
+}
+
+uint64_t RunRounds(uint64_t state, int64_t rounds) {
+  for (int64_t i = 0; i < rounds; ++i) state = SpinRound(state);
+  return state;
+}
+
+double CalibrateRoundsPerNano() {
+  // Warm up, then time a fixed number of rounds with the wall clock
+  // (the spin kernel is pure CPU, so uninterrupted wall == CPU; taking
+  // the max rate over repetitions discards preempted runs).
+  volatile uint64_t sink = RunRounds(1, 100000);
+  (void)sink;
+  double best = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    constexpr int64_t kRounds = 4000000;
+    const int64_t t0 = WallNanos();
+    sink = RunRounds(rep + 1, kRounds);
+    const int64_t t1 = WallNanos();
+    if (t1 > t0) {
+      best = std::max(best, static_cast<double>(kRounds) / (t1 - t0));
+    }
+  }
+  return best > 0 ? best : 1.0;
+}
+
+std::atomic<double> g_rounds_per_nano{0.0};
+std::once_flag g_calibrate_once;
+
+}  // namespace
+
+double SpinRoundsPerNano() {
+  std::call_once(g_calibrate_once, [] {
+    // Calibration is harness overhead, not pipeline work: exclude its
+    // wall time from the virtual thread-CPU clock so the first UDF call
+    // in a process is not over-charged the calibration cost.
+    BlockedRegion not_pipeline_work;
+    g_rounds_per_nano.store(CalibrateRoundsPerNano(),
+                            std::memory_order_relaxed);
+  });
+  return g_rounds_per_nano.load(std::memory_order_relaxed);
+}
+
+uint64_t BurnCpuNanos(int64_t ns, uint64_t seed) {
+  if (ns <= 0) return seed;
+  const double rpn = SpinRoundsPerNano();
+  const int64_t rounds = static_cast<int64_t>(ns * rpn);
+  // A fixed round count is the correct notion of "CPU work": it costs
+  // the same CPU regardless of preemption or oversubscription.
+  return RunRounds(seed | 1, rounds);
+}
+
+void TransformBuffer(const std::vector<uint8_t>& input, size_t output_bytes,
+                     uint64_t seed, std::vector<uint8_t>* output) {
+  output->resize(output_bytes);
+  uint64_t h = SplitMix64(seed);
+  // Fold the input through a rolling hash so the transform depends on
+  // every input byte (a decoder reads everything it decodes).
+  for (size_t i = 0; i < input.size(); i += 8) {
+    uint64_t chunk = 0;
+    const size_t n = std::min<size_t>(8, input.size() - i);
+    for (size_t j = 0; j < n; ++j) {
+      chunk |= static_cast<uint64_t>(input[i + j]) << (8 * j);
+    }
+    h = SpinRound(h ^ chunk);
+  }
+  uint64_t x = h;
+  size_t i = 0;
+  while (i < output_bytes) {
+    x = SpinRound(x);
+    const size_t n = std::min<size_t>(8, output_bytes - i);
+    for (size_t j = 0; j < n; ++j) {
+      (*output)[i + j] = static_cast<uint8_t>(x >> (8 * j));
+    }
+    i += n;
+  }
+}
+
+void FillDeterministicBytes(uint64_t seed, size_t n,
+                            std::vector<uint8_t>* out) {
+  out->resize(n);
+  uint64_t x = SplitMix64(seed);
+  size_t i = 0;
+  while (i < n) {
+    x = SpinRound(x | 1);
+    const size_t m = std::min<size_t>(8, n - i);
+    for (size_t j = 0; j < m; ++j) {
+      (*out)[i + j] = static_cast<uint8_t>(x >> (8 * j));
+    }
+    i += m;
+  }
+}
+
+}  // namespace plumber

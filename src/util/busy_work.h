@@ -1,0 +1,34 @@
+// Calibrated synthetic CPU work.
+//
+// Workload UDFs (JPEG decode, parse, crop, tokenize, ...) are replaced
+// by a spin kernel that burns a requested amount of *thread CPU time*.
+// The kernel mixes state with xorshift rounds so it cannot be optimized
+// away and exercises the ALU like a real decoder inner loop. Calibration
+// measures rounds-per-nanosecond once per process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plumber {
+
+// Burns approximately `ns` nanoseconds of CPU time on the calling
+// thread. Returns the mixed state so callers can fold it into output
+// (keeping the work observable). ns <= 0 is a no-op.
+uint64_t BurnCpuNanos(int64_t ns, uint64_t seed = 0);
+
+// Rounds of the spin kernel per nanosecond (calibrated on first use).
+double SpinRoundsPerNano();
+
+// Deterministically transforms `input` into `output_bytes` bytes,
+// touching every input byte once; used to model decode/parse output.
+void TransformBuffer(const std::vector<uint8_t>& input, size_t output_bytes,
+                     uint64_t seed, std::vector<uint8_t>* output);
+
+// Fills `out` with `n` deterministic pseudo-random bytes derived from
+// `seed`; cheap (about 1 byte per cycle).
+void FillDeterministicBytes(uint64_t seed, size_t n,
+                            std::vector<uint8_t>* out);
+
+}  // namespace plumber

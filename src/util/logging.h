@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace plumber {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace plumber
+
+#define PLOG(level)                                                     \
+  ::plumber::internal::LogMessage(::plumber::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)

@@ -1,0 +1,122 @@
+// Lightweight Status / StatusOr error-handling types.
+//
+// The pipeline engine is exception-free on its hot paths (an iterator
+// GetNext call happens millions of times per run); Status is a cheap
+// value type whose OK state carries no allocation.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace plumber {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status CancelledError(std::string_view msg);
+Status InvalidArgumentError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status OutOfRangeError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status UnimplementedError(std::string_view msg);
+Status InternalError(std::string_view msg);
+
+// A value-or-error holder. Accessing value() on an error aborts in debug
+// builds; callers are expected to check ok() first (see I.5/I.7 in the
+// Core Guidelines: preconditions stated, checked at runtime).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define PLUMBER_CONCAT_INNER(a, b) a##b
+#define PLUMBER_CONCAT(a, b) PLUMBER_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::plumber::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                                    \
+  auto PLUMBER_CONCAT(_st_or_, __LINE__) = (expr);                     \
+  if (!PLUMBER_CONCAT(_st_or_, __LINE__).ok())                         \
+    return PLUMBER_CONCAT(_st_or_, __LINE__).status();                 \
+  lhs = std::move(PLUMBER_CONCAT(_st_or_, __LINE__)).value()
+
+}  // namespace plumber

@@ -1,0 +1,26 @@
+// ASCII table rendering for benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plumber {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plumber

@@ -1,0 +1,87 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace plumber {
+
+ThreadPool::ThreadPool(int num_threads, std::string name) {
+  (void)name;
+  num_threads = std::max(1, num_threads);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int n, int parallelism, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  parallelism = std::clamp(parallelism, 1, n);
+  if (parallelism == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(parallelism - 1);
+  std::atomic<int> next{0};
+  auto body = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  for (int t = 1; t < parallelism; ++t) workers.emplace_back(body);
+  body();
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace plumber

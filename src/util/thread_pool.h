@@ -1,0 +1,47 @@
+// A fixed-size thread pool with a blocking work queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace plumber {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues work; returns false if the pool is shutting down.
+  bool Schedule(std::function<void()> fn);
+
+  // Blocks until all currently queued and running work is complete.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(i) for i in [0, n) across up to `parallelism` threads created
+// on the spot; blocks until done. Convenience for inner-parallel UDFs.
+void ParallelFor(int n, int parallelism, const std::function<void(int)>& fn);
+
+}  // namespace plumber

@@ -1,0 +1,83 @@
+#include "src/util/busy_work.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace {
+
+TEST(BusyWorkTest, CalibrationIsPositive) {
+  EXPECT_GT(SpinRoundsPerNano(), 0.0);
+}
+
+TEST(BusyWorkTest, BurnConsumesApproximatelyRequestedCpu) {
+  // Warm up calibration.
+  BurnCpuNanos(100000);
+  // The spin kernel is pure CPU, so uncontended wall time == CPU time.
+  const int64_t target_ns = 5'000'000;  // 5ms
+  const int64_t t0 = WallNanos();
+  BurnCpuNanos(target_ns);
+  const int64_t burned = WallNanos() - t0;
+  // Within 50% — calibration is coarse but must be the right magnitude.
+  EXPECT_GT(burned, target_ns / 2);
+  EXPECT_LT(burned, target_ns * 2);
+}
+
+TEST(BusyWorkTest, ZeroOrNegativeIsNoop) {
+  EXPECT_EQ(BurnCpuNanos(0, 5), 5u);
+  EXPECT_EQ(BurnCpuNanos(-10, 5), 5u);
+}
+
+TEST(TransformBufferTest, ProducesRequestedSize) {
+  std::vector<uint8_t> in(100, 7), out;
+  TransformBuffer(in, 250, 42, &out);
+  EXPECT_EQ(out.size(), 250u);
+  TransformBuffer(in, 10, 42, &out);
+  EXPECT_EQ(out.size(), 10u);
+  TransformBuffer(in, 0, 42, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(TransformBufferTest, DeterministicInInputAndSeed) {
+  std::vector<uint8_t> in(64, 3), a, b;
+  TransformBuffer(in, 128, 9, &a);
+  TransformBuffer(in, 128, 9, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransformBufferTest, DependsOnSeed) {
+  std::vector<uint8_t> in(64, 3), a, b;
+  TransformBuffer(in, 128, 1, &a);
+  TransformBuffer(in, 128, 2, &b);
+  EXPECT_NE(a, b);
+}
+
+TEST(TransformBufferTest, DependsOnInputContent) {
+  std::vector<uint8_t> in1(64, 3), in2(64, 4), a, b;
+  TransformBuffer(in1, 128, 1, &a);
+  TransformBuffer(in2, 128, 1, &b);
+  EXPECT_NE(a, b);
+}
+
+TEST(FillDeterministicBytesTest, SizeAndDeterminism) {
+  std::vector<uint8_t> a, b;
+  FillDeterministicBytes(11, 1000, &a);
+  FillDeterministicBytes(11, 1000, &b);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a, b);
+  FillDeterministicBytes(12, 1000, &b);
+  EXPECT_NE(a, b);
+}
+
+TEST(FillDeterministicBytesTest, BytesLookRandom) {
+  std::vector<uint8_t> a;
+  FillDeterministicBytes(99, 100000, &a);
+  // Mean byte value should be near 127.5 for uniform-ish content.
+  double sum = 0;
+  for (uint8_t v : a) sum += v;
+  EXPECT_NEAR(sum / a.size(), 127.5, 5.0);
+}
+
+}  // namespace
+}  // namespace plumber

@@ -1,0 +1,118 @@
+// Property suite: the provisioner is the inverse of the allocation LP.
+//
+// PlanAllocation answers "given this machine, how fast?"; PlanProvision
+// answers "given this rate, what machine?". On the same traced model
+// the two must agree: provisioning for the LP's predicted rate must
+// demand no more than the machine the LP was given, and the LP run on
+// the provisioned core count must predict at least the target.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/core/optimizer.h"
+#include "src/core/provisioner.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+// (expensive-map parallelism at trace time, machine cores)
+using DualityParam = std::tuple<int, int>;
+
+class DualityTest : public ::testing::TestWithParam<DualityParam> {
+ protected:
+  PipelineModel BuildModel(int traced_parallelism, int cores) {
+    env_ = std::make_unique<PipelineTestEnv>(4, 200, 64);
+    GraphBuilder b;
+    auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 2);
+    n = b.Map("work", n, "slow", traced_parallelism);
+    n = b.Map("free", n, "noop");
+    n = b.ShuffleAndRepeat("sr", n, 16);
+    n = b.Batch("batch", n, 5);
+    n = b.Prefetch("prefetch", n, 2);
+    GraphDef graph = std::move(b.Build(n)).value();
+    auto pipeline =
+        std::move(Pipeline::Create(graph, env_->Options())).value();
+    TraceOptions topts;
+    topts.trace_seconds = 0.3;
+    topts.machine = MachineSpec::SetupA();
+    topts.machine.num_cores = cores;
+    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+    pipeline->Cancel();
+    return std::move(PipelineModel::Build(trace, &env_->udfs)).value();
+  }
+
+  std::unique_ptr<PipelineTestEnv> env_;
+};
+
+TEST_P(DualityTest, ProvisionOfLpRateFitsTheMachine) {
+  const auto [traced_parallelism, cores] = GetParam();
+  const PipelineModel model = BuildModel(traced_parallelism, cores);
+  const LpPlan lp = PlanAllocation(model);
+  ASSERT_GT(lp.predicted_rate, 0);
+
+  ProvisionRequest request;
+  request.target_rate = lp.predicted_rate;
+  request.allow_cache = false;
+  const ProvisionPlan provision = PlanProvision(model, request);
+  ASSERT_TRUE(provision.feasible) << provision.infeasible_reason;
+  // Small tolerance: the LP rounds sequential stages' caps.
+  EXPECT_LE(provision.cores_needed, cores * 1.01);
+}
+
+TEST_P(DualityTest, LpOnProvisionedCoresReachesTheTarget) {
+  const auto [traced_parallelism, cores] = GetParam();
+  PipelineModel model = BuildModel(traced_parallelism, cores);
+  const LpPlan lp = PlanAllocation(model);
+  const double target = lp.predicted_rate * 0.5;  // comfortably feasible
+
+  ProvisionRequest request;
+  request.target_rate = target;
+  request.allow_cache = false;
+  const ProvisionPlan provision = PlanProvision(model, request);
+  ASSERT_TRUE(provision.feasible);
+
+  // Re-solve the LP with exactly the provisioned cores: the predicted
+  // rate must cover the target.
+  TraceSnapshot trace = model.trace();
+  trace.machine.num_cores =
+      static_cast<int>(std::ceil(provision.cores_needed));
+  PipelineModel shrunk =
+      std::move(PipelineModel::Build(trace, &env_->udfs)).value();
+  const LpPlan replay = PlanAllocation(shrunk);
+  EXPECT_GE(replay.predicted_rate, target * 0.99);
+}
+
+TEST_P(DualityTest, ThetaAgreesBetweenLpAndProvisioner) {
+  const auto [traced_parallelism, cores] = GetParam();
+  const PipelineModel model = BuildModel(traced_parallelism, cores);
+  const LpPlan lp = PlanAllocation(model);
+  ProvisionRequest request;
+  request.target_rate = lp.predicted_rate;
+  request.allow_cache = false;
+  const ProvisionPlan provision = PlanProvision(model, request);
+  ASSERT_TRUE(provision.feasible);
+  // At the LP's own rate, the provisioner's theta for the bottleneck
+  // stage matches the LP's allocation (both equal target / Ri).
+  const auto lp_theta = lp.theta.find(lp.bottleneck);
+  const auto pv_theta = provision.theta.find(lp.bottleneck);
+  ASSERT_NE(lp_theta, lp.theta.end());
+  ASSERT_NE(pv_theta, provision.theta.end());
+  EXPECT_NEAR(pv_theta->second, lp_theta->second,
+              0.05 * std::max(1.0, lp_theta->second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, DualityTest,
+    ::testing::Combine(::testing::Values(1, 4),
+                       ::testing::Values(4, 8, 16)),
+    [](const ::testing::TestParamInfo<DualityParam>& info) {
+      return "par" + std::to_string(std::get<0>(info.param)) + "_cores" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace plumber

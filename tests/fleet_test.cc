@@ -1,0 +1,70 @@
+#include "src/fleet/fleet_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace plumber {
+namespace {
+
+std::vector<FleetJob> SmallFleet() {
+  FleetModelOptions options;
+  options.num_jobs = 50000;
+  return SimulateFleet(options);
+}
+
+TEST(FleetSimTest, Deterministic) {
+  FleetModelOptions options;
+  options.num_jobs = 100;
+  const auto a = SimulateFleet(options);
+  const auto b = SimulateFleet(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].next_latency_s, b[i].next_latency_s);
+  }
+}
+
+TEST(FleetSimTest, QuantilesMatchPaperBands) {
+  // Paper Fig. 3: 92% > 50us, 62% > 1ms, 16% > 100ms.
+  const auto summary = SummarizeFleet(SmallFleet());
+  EXPECT_NEAR(summary.frac_above_50us, 0.92, 0.04);
+  EXPECT_NEAR(summary.frac_above_1ms, 0.62, 0.05);
+  EXPECT_NEAR(summary.frac_above_100ms, 0.16, 0.03);
+}
+
+TEST(FleetSimTest, SlowJobsUnderutilizeHost) {
+  // Paper Fig. 4: jobs >=100ms average ~11% CPU and ~18% memory
+  // bandwidth, and use less than the 50us-100ms band.
+  const auto summary = SummarizeFleet(SmallFleet());
+  EXPECT_NEAR(summary.slow_mean_cpu, 0.11, 0.05);
+  EXPECT_NEAR(summary.slow_mean_membw, 0.18, 0.06);
+  EXPECT_LT(summary.slow_mean_cpu, summary.mid_mean_cpu);
+  EXPECT_LT(summary.slow_mean_cpu, 0.20);
+}
+
+TEST(FleetSimTest, UtilizationsAreValidFractions) {
+  for (const auto& job : SmallFleet()) {
+    EXPECT_GT(job.next_latency_s, 0);
+    EXPECT_GE(job.cpu_utilization, 0);
+    EXPECT_LE(job.cpu_utilization, 1);
+    EXPECT_GE(job.membw_utilization, 0);
+    EXPECT_LE(job.membw_utilization, 1);
+  }
+}
+
+TEST(FleetSimTest, CdfIsMonotone) {
+  const auto jobs = SmallFleet();
+  const auto cdf =
+      FleetLatencyCdf(jobs, {1e-5, 5e-5, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_GT(cdf.back().second, 0.95);
+}
+
+TEST(FleetSimTest, SummaryOfEmptyFleet) {
+  const FleetSummary s = SummarizeFleet({});
+  EXPECT_EQ(s.num_jobs, 0);
+  EXPECT_EQ(s.frac_above_1ms, 0);
+}
+
+}  // namespace
+}  // namespace plumber

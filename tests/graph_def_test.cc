@@ -1,0 +1,198 @@
+#include "src/pipeline/graph_def.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+NodeDef MakeNode(const std::string& name, const std::string& op,
+                 std::vector<std::string> inputs = {}) {
+  NodeDef n;
+  n.name = name;
+  n.op = op;
+  n.inputs = std::move(inputs);
+  return n;
+}
+
+GraphDef Chain() {
+  GraphDef g;
+  EXPECT_TRUE(g.AddNode(MakeNode("src", "range")).ok());
+  EXPECT_TRUE(g.AddNode(MakeNode("mid", "map", {"src"})).ok());
+  EXPECT_TRUE(g.AddNode(MakeNode("root", "batch", {"mid"})).ok());
+  g.SetOutput("root");
+  return g;
+}
+
+TEST(AttrValueTest, TypedAccessors) {
+  EXPECT_EQ(AttrValue(int64_t{5}).AsInt(), 5);
+  EXPECT_EQ(AttrValue(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(AttrValue(true).AsBool(), true);
+  EXPECT_EQ(AttrValue("hi").AsString(), "hi");
+  // Cross-type coercions.
+  EXPECT_EQ(AttrValue(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_EQ(AttrValue(2.9).AsInt(), 2);
+  EXPECT_EQ(AttrValue(int64_t{1}).AsBool(), true);
+  // Fallbacks.
+  EXPECT_EQ(AttrValue("x").AsInt(42), 42);
+}
+
+TEST(AttrValueTest, SerializeParseRoundTrip) {
+  for (const AttrValue& v :
+       {AttrValue(int64_t{-7}), AttrValue(3.14159), AttrValue(true),
+        AttrValue(false), AttrValue("hello world")}) {
+    auto parsed = AttrValue::Parse(v.Serialize());
+    ASSERT_TRUE(parsed.ok()) << v.Serialize();
+    EXPECT_EQ(parsed->Serialize(), v.Serialize());
+  }
+}
+
+TEST(GraphDefTest, AddAndFind) {
+  GraphDef g = Chain();
+  EXPECT_NE(g.FindNode("src"), nullptr);
+  EXPECT_EQ(g.FindNode("nope"), nullptr);
+  EXPECT_EQ(g.FindNode("mid")->inputs[0], "src");
+}
+
+TEST(GraphDefTest, DuplicateNameRejected) {
+  GraphDef g = Chain();
+  EXPECT_EQ(g.AddNode(MakeNode("src", "range")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GraphDefTest, ValidateCatchesMissingInput) {
+  GraphDef g;
+  ASSERT_TRUE(g.AddNode(MakeNode("a", "map", {"ghost"})).ok());
+  g.SetOutput("a");
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphDefTest, ValidateCatchesMissingOutput) {
+  GraphDef g;
+  ASSERT_TRUE(g.AddNode(MakeNode("a", "range")).ok());
+  EXPECT_FALSE(g.Validate().ok());  // no output set
+  g.SetOutput("ghost");
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphDefTest, TopologicalOrderChildrenFirst) {
+  GraphDef g = Chain();
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<std::string>{"src", "mid", "root"}));
+}
+
+TEST(GraphDefTest, TopologicalOrderDetectsCycle) {
+  GraphDef g;
+  ASSERT_TRUE(g.AddNode(MakeNode("a", "map", {"b"})).ok());
+  ASSERT_TRUE(g.AddNode(MakeNode("b", "map", {"a"})).ok());
+  g.SetOutput("a");
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(GraphDefTest, ConsumersLookup) {
+  GraphDef g = Chain();
+  EXPECT_EQ(g.Consumers("src"), std::vector<std::string>{"mid"});
+  EXPECT_EQ(g.Consumers("root").size(), 0u);
+}
+
+TEST(GraphDefTest, InsertAfterRedirectsConsumers) {
+  GraphDef g = Chain();
+  ASSERT_TRUE(g.InsertAfter("mid", MakeNode("cache", "cache")).ok());
+  EXPECT_EQ(g.FindNode("cache")->inputs, std::vector<std::string>{"mid"});
+  EXPECT_EQ(g.FindNode("root")->inputs, std::vector<std::string>{"cache"});
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphDefTest, InsertAfterRootUpdatesOutput) {
+  GraphDef g = Chain();
+  ASSERT_TRUE(g.InsertAfter("root", MakeNode("prefetch", "prefetch")).ok());
+  EXPECT_EQ(g.output(), "prefetch");
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphDefTest, InsertAfterMissingNodeFails) {
+  GraphDef g = Chain();
+  EXPECT_FALSE(g.InsertAfter("ghost", MakeNode("x", "cache")).ok());
+}
+
+TEST(GraphDefTest, RemoveNodeReconnects) {
+  GraphDef g = Chain();
+  ASSERT_TRUE(g.RemoveNode("mid").ok());
+  EXPECT_EQ(g.FindNode("root")->inputs, std::vector<std::string>{"src"});
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphDefTest, RemoveSourceFails) {
+  GraphDef g = Chain();
+  EXPECT_FALSE(g.RemoveNode("src").ok());
+}
+
+TEST(GraphDefTest, UniqueNameAvoidsCollisions) {
+  GraphDef g = Chain();
+  EXPECT_EQ(g.UniqueName("fresh"), "fresh");
+  EXPECT_EQ(g.UniqueName("mid"), "mid_1");
+}
+
+TEST(GraphDefTest, SerializeParseRoundTrip) {
+  GraphDef g = Chain();
+  NodeDef* mid = g.MutableNode("mid");
+  mid->attrs["parallelism"] = AttrValue(int64_t{4});
+  mid->attrs["udf"] = AttrValue("decode");
+  mid->attrs["deterministic"] = AttrValue(true);
+  mid->attrs["scale"] = AttrValue(1.25);
+  auto parsed = GraphDef::Parse(g.Serialize());
+  ASSERT_TRUE(parsed.ok()) << g.Serialize();
+  EXPECT_EQ(parsed->Serialize(), g.Serialize());
+  EXPECT_EQ(parsed->FindNode("mid")->GetInt("parallelism"), 4);
+  EXPECT_EQ(parsed->FindNode("mid")->GetString("udf"), "decode");
+  EXPECT_EQ(parsed->FindNode("mid")->GetDouble("scale"), 1.25);
+}
+
+TEST(GraphDefTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(GraphDef::Parse("whatever this is").ok());
+  EXPECT_FALSE(GraphDef::Parse("node a map\n").ok());  // unterminated
+  EXPECT_FALSE(GraphDef::Parse("input x\n").ok());     // outside node
+}
+
+// Property: random chains round-trip through text serialization.
+class GraphRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphRoundTripTest, SerializeParseIdentity) {
+  Rng rng(GetParam() * 31 + 5);
+  GraphDef g;
+  const int n = 2 + static_cast<int>(rng.UniformInt(8));
+  std::string prev;
+  for (int i = 0; i < n; ++i) {
+    NodeDef node = MakeNode("n" + std::to_string(i),
+                            i == 0 ? "range" : "map",
+                            i == 0 ? std::vector<std::string>{}
+                                   : std::vector<std::string>{prev});
+    if (rng.Bernoulli(0.5)) {
+      node.attrs["parallelism"] =
+          AttrValue(static_cast<int64_t>(1 + rng.UniformInt(64)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      node.attrs["ratio"] = AttrValue(rng.UniformDouble() * 10);
+    }
+    if (rng.Bernoulli(0.3)) {
+      node.attrs["flag"] = AttrValue(rng.Bernoulli(0.5));
+    }
+    ASSERT_TRUE(g.AddNode(std::move(node)).ok());
+    prev = "n" + std::to_string(i);
+  }
+  g.SetOutput(prev);
+  auto parsed = GraphDef::Parse(g.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Serialize(), g.Serialize());
+  auto order = parsed->TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), static_cast<size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, GraphRoundTripTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace plumber

@@ -1,0 +1,128 @@
+// Tests for producer-attributed CPU accounting and the stats registry.
+#include "src/pipeline/iterator_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/util/busy_work.h"
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace {
+
+TEST(IteratorStatsTest, CountersAccumulate) {
+  IteratorStats s("node", "map");
+  s.RecordProduced(100);
+  s.RecordProduced(50);
+  s.RecordConsumed();
+  s.AddCpuNanos(1000);
+  s.AddBytesRead(7);
+  EXPECT_EQ(s.elements_produced(), 2u);
+  EXPECT_EQ(s.bytes_produced(), 150u);
+  EXPECT_EQ(s.elements_consumed(), 1u);
+  EXPECT_EQ(s.cpu_ns(), 1000);
+  EXPECT_EQ(s.bytes_read(), 7u);
+  s.Reset();
+  EXPECT_EQ(s.elements_produced(), 0u);
+  EXPECT_EQ(s.cpu_ns(), 0);
+}
+
+TEST(IteratorStatsTest, NegativeCpuIgnored) {
+  IteratorStats s("node", "map");
+  s.AddCpuNanos(-100);
+  EXPECT_EQ(s.cpu_ns(), 0);
+}
+
+TEST(StatsRegistryTest, GetOrCreateIsIdempotent) {
+  StatsRegistry reg;
+  IteratorStats* a = reg.GetOrCreate("x", "map");
+  IteratorStats* b = reg.GetOrCreate("x", "map");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.Find("x"), a);
+  EXPECT_EQ(reg.Find("y"), nullptr);
+}
+
+TEST(StatsRegistryTest, SnapshotCopiesCounters) {
+  StatsRegistry reg;
+  IteratorStats* s = reg.GetOrCreate("x", "map");
+  s->RecordProduced(10);
+  s->SetParallelism(3);
+  s->SetUdfName("decode");
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "x");
+  EXPECT_EQ(snap[0].op, "map");
+  EXPECT_EQ(snap[0].elements_produced, 1u);
+  EXPECT_EQ(snap[0].bytes_produced, 10u);
+  EXPECT_EQ(snap[0].parallelism, 3);
+  EXPECT_EQ(snap[0].udf_name, "decode");
+}
+
+TEST(CpuAccountingTest, ChargesWorkToActiveScope) {
+  IteratorStats parent("parent", "map"), child("child", "source");
+  {
+    CpuAccountingScope outer(&parent);
+    BurnCpuNanos(3'000'000);  // 3ms charged to parent
+    {
+      CpuAccountingScope inner(&child);
+      BurnCpuNanos(6'000'000);  // 6ms charged to child
+    }
+    BurnCpuNanos(1'000'000);  // 1ms more to parent
+  }
+  // Parent ~4ms, child ~6ms; attribution must not leak child work into
+  // parent (the paper's "timers stop when calling into children").
+  EXPECT_GT(parent.cpu_ns(), 1'500'000);
+  EXPECT_LT(parent.cpu_ns(), 9'000'000);
+  EXPECT_GT(child.cpu_ns(), 3'000'000);
+  EXPECT_GT(child.cpu_ns(), parent.cpu_ns());
+}
+
+TEST(CpuAccountingTest, BlockedTimeNotCharged) {
+  IteratorStats s("node", "source");
+  {
+    CpuAccountingScope scope(&s);
+    BlockedRegion blocked;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // 50ms of declared-blocked sleep must not appear as CPU.
+  EXPECT_LT(s.cpu_ns(), 10'000'000);
+}
+
+TEST(CpuAccountingTest, SleepWithoutBlockedMarkerIsCharged) {
+  // Contrast case: an undeclared sleep counts as (virtual) CPU. This
+  // documents the contract: all engine blocking sites must declare.
+  IteratorStats s("node", "source");
+  {
+    CpuAccountingScope scope(&s);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GT(s.cpu_ns(), 20'000'000);
+}
+
+TEST(CpuAccountingTest, IndependentAcrossThreads) {
+  IteratorStats a("a", "map"), b("b", "map");
+  std::thread t1([&] {
+    CpuAccountingScope scope(&a);
+    BurnCpuNanos(5'000'000);
+  });
+  std::thread t2([&] {
+    CpuAccountingScope scope(&b);
+    BurnCpuNanos(5'000'000);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GT(a.cpu_ns(), 2'000'000);
+  EXPECT_GT(b.cpu_ns(), 2'000'000);
+}
+
+TEST(CpuAccountingTest, UnscopedWorkChargedToNobody) {
+  IteratorStats s("node", "map");
+  BurnCpuNanos(2'000'000);  // no scope active
+  { CpuAccountingScope scope(&s); }
+  // Entering a scope after unscoped work must not back-charge it.
+  EXPECT_LT(s.cpu_ns(), 1'000'000);
+}
+
+}  // namespace
+}  // namespace plumber

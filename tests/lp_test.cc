@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lp/maximin_allocator.h"
+#include "src/lp/simplex.h"
+#include "src/util/rng.h"
+
+namespace plumber {
+namespace {
+
+TEST(SimplexTest, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, z=36.
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 3.0);
+  const int y = lp.AddVariable("y", 5.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLe, 4);
+  lp.AddConstraint({{y, 2.0}}, ConstraintSense::kLe, 12);
+  lp.AddConstraint({{x, 3.0}, {y, 2.0}}, ConstraintSense::kLe, 18);
+  const LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesGeConstraints) {
+  // max -x s.t. x >= 5 -> x=5.
+  LpProblem lp;
+  const int x = lp.AddVariable("x", -1.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGe, 5);
+  const LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.x[x], 5.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesEqConstraints) {
+  // max x + y s.t. x + y == 3, x <= 1 -> objective 3.
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 1.0, 1.0);
+  const int y = lp.AddVariable("y", 1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kEq, 3);
+  const LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_NEAR(s.x[x] + s.x[y], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 1.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLe, 1);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGe, 2);
+  const LpSolution s = SolveSimplex(lp);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.AddVariable("x", 1.0);
+  const LpSolution s = SolveSimplex(lp);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_FALSE(s.bounded);
+}
+
+TEST(SimplexTest, RespectsUpperBounds) {
+  LpProblem lp;
+  const int x = lp.AddVariable("x", 1.0, 2.5);
+  const LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.x[x], 2.5, 1e-6);
+}
+
+TEST(SimplexTest, SolutionSatisfiesProblem) {
+  LpProblem lp;
+  const int a = lp.AddVariable("a", 2.0, 10);
+  const int b = lp.AddVariable("b", 1.0, 10);
+  lp.AddConstraint({{a, 1.0}, {b, 3.0}}, ConstraintSense::kLe, 12);
+  lp.AddConstraint({{a, 2.0}, {b, 1.0}}, ConstraintSense::kLe, 14);
+  const LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.feasible && s.bounded);
+  EXPECT_TRUE(lp.IsFeasible(s.x));
+}
+
+TEST(MaxMinTest, SingleStageUsesAllCores) {
+  const MaxMinSolution s = SolveMaxMin({{"a", 2.0, false}}, 8);
+  EXPECT_NEAR(s.throughput, 16.0, 1e-9);
+  EXPECT_NEAR(s.theta[0], 8.0, 1e-9);
+  EXPECT_TRUE(s.core_limited);
+}
+
+TEST(MaxMinTest, WaterFillingBalancesRates) {
+  // Rates 1 and 3 with 4 cores: X satisfies X/1 + X/3 = 4 -> X = 3.
+  const MaxMinSolution s =
+      SolveMaxMin({{"slow", 1.0, false}, {"fast", 3.0, false}}, 4);
+  EXPECT_NEAR(s.throughput, 3.0, 1e-9);
+  EXPECT_NEAR(s.theta[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.theta[1], 1.0, 1e-9);
+  EXPECT_EQ(s.bottleneck, 0);  // slowest per-core stage
+}
+
+TEST(MaxMinTest, SequentialStageCapsThroughput) {
+  // Sequential stage with rate 2 caps X at 2 even with many cores.
+  const MaxMinSolution s =
+      SolveMaxMin({{"seq", 2.0, true}, {"par", 1.0, false}}, 100);
+  EXPECT_NEAR(s.throughput, 2.0, 1e-9);
+  EXPECT_FALSE(s.core_limited);
+  EXPECT_EQ(s.bottleneck, 0);
+}
+
+TEST(MaxMinTest, FreeStagesIgnored) {
+  const MaxMinSolution s =
+      SolveMaxMin({{"free", 0.0, false}, {"work", 2.0, false}}, 4);
+  EXPECT_NEAR(s.throughput, 8.0, 1e-9);
+  EXPECT_NEAR(s.theta[0], 0.0, 1e-9);
+}
+
+TEST(MaxMinTest, EmptyOrZeroCores) {
+  EXPECT_EQ(SolveMaxMin({}, 4).throughput, 0);
+  EXPECT_EQ(SolveMaxMin({{"a", 1.0, false}}, 0).throughput, 0);
+}
+
+// Property: the closed-form water-filling solution matches the simplex
+// encoding of the same LP across random instances.
+class MaxMinVsSimplexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinVsSimplexTest, ClosedFormMatchesSimplex) {
+  Rng rng(GetParam() * 7919 + 13);
+  const int n = 1 + static_cast<int>(rng.UniformInt(6));
+  std::vector<MaxMinStage> stages;
+  for (int i = 0; i < n; ++i) {
+    MaxMinStage stage;
+    stage.name = "s" + std::to_string(i);
+    stage.rate_per_core = 0.1 + rng.UniformDouble() * 10;
+    stage.sequential = rng.Bernoulli(0.3);
+    stages.push_back(stage);
+  }
+  const double cores = 1 + rng.UniformInt(32);
+  const MaxMinSolution closed = SolveMaxMin(stages, cores);
+
+  LpProblem lp;
+  const int t = lp.AddVariable("t", 1.0);
+  std::vector<int> theta;
+  std::vector<std::pair<int, double>> budget;
+  for (const auto& stage : stages) {
+    const double ub = stage.sequential
+                          ? 1.0
+                          : std::numeric_limits<double>::infinity();
+    theta.push_back(lp.AddVariable("theta_" + stage.name, 0.0, ub));
+    lp.AddConstraint({{t, 1.0}, {theta.back(), -stage.rate_per_core}},
+                     ConstraintSense::kLe, 0.0);
+    budget.push_back({theta.back(), 1.0});
+  }
+  lp.AddConstraint(budget, ConstraintSense::kLe, cores);
+  const LpSolution simplex = SolveSimplex(lp);
+  ASSERT_TRUE(simplex.feasible && simplex.bounded);
+  EXPECT_NEAR(simplex.x[t], closed.throughput,
+              1e-6 * std::max(1.0, closed.throughput));
+  // Closed-form theta must be feasible for the LP encoding too.
+  std::vector<double> x(theta.size() + 1);
+  x[t] = closed.throughput;
+  for (size_t i = 0; i < theta.size(); ++i) x[theta[i]] = closed.theta[i];
+  EXPECT_TRUE(lp.IsFeasible(x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinVsSimplexTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace plumber

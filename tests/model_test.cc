@@ -1,0 +1,240 @@
+// Tests for the tracer and the operational model (visit ratios,
+// resource-accounted rates, cardinality/materialization, cacheability).
+#include "src/core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/tracer.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+// Builds: interleave -> map(double_size) -> filter(keep_all) ->
+// batch(5) and traces a full epoch.
+struct TracedChain {
+  std::unique_ptr<PipelineTestEnv> env;  // heap: pipeline keeps pointers
+  std::unique_ptr<Pipeline> pipeline;
+  TraceSnapshot trace;
+  std::unique_ptr<PipelineModel> model_holder;
+  PipelineModel& model() { return *model_holder; }
+
+  static TracedChain Make() {
+    TracedChain t;
+    t.env = std::make_unique<PipelineTestEnv>(/*num_files=*/4,
+                                              /*records_per_file=*/25,
+                                              /*record_bytes=*/64);
+    GraphBuilder b;
+    auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+    n = b.Map("double", n, "double_size");
+    n = b.Filter("keep", n, "keep_all");
+    n = b.Batch("batch", n, 5);
+    auto graph = std::move(b.Build(n)).value();
+    t.pipeline =
+        std::move(Pipeline::Create(std::move(graph), t.env->Options()))
+            .value();
+    TraceOptions topts;
+    topts.trace_seconds = 5.0;  // generous; ends at end-of-data
+    topts.machine = MachineSpec::SetupA();
+    t.trace = CaptureTrace(*t.pipeline, topts);
+    t.model_holder = std::make_unique<PipelineModel>(
+        std::move(PipelineModel::Build(t.trace, &t.env->udfs)).value());
+    return t;
+  }
+};
+
+TEST(TracerTest, CapturesRootCompletionsAndGraph) {
+  auto t = TracedChain::Make();
+  EXPECT_EQ(t.trace.root_completions, 20u);  // 100 records / batch 5
+  EXPECT_EQ(t.trace.graph.output(), "batch");
+  EXPECT_NE(t.trace.FindStats("double"), nullptr);
+  EXPECT_EQ(t.trace.FindStats("nope"), nullptr);
+  EXPECT_EQ(t.trace.files_per_prefix.at("data/"), 4u);
+}
+
+TEST(TracerTest, SerializeContainsProgramAndStats) {
+  auto t = TracedChain::Make();
+  const std::string dump = t.trace.Serialize();
+  EXPECT_NE(dump.find("node interleave"), std::string::npos);
+  EXPECT_NE(dump.find("stat batch"), std::string::npos);
+  EXPECT_NE(dump.find("file data/f0"), std::string::npos);
+}
+
+TEST(ModelTest, VisitRatiosFollowBatchAndUnitOps) {
+  auto t = TracedChain::Make();
+  EXPECT_DOUBLE_EQ(t.model().Find("batch")->visit_ratio, 1.0);
+  // 5 elements enter the batch per minibatch.
+  EXPECT_NEAR(t.model().Find("keep")->visit_ratio, 5.0, 1e-9);
+  EXPECT_NEAR(t.model().Find("double")->visit_ratio, 5.0, 1e-9);
+  EXPECT_NEAR(t.model().Find("interleave")->visit_ratio, 5.0, 1e-9);
+}
+
+TEST(ModelTest, BytesPerElementTracksSizeRatio) {
+  auto t = TracedChain::Make();
+  EXPECT_NEAR(t.model().Find("interleave")->bytes_per_element, 64.0, 1e-9);
+  EXPECT_NEAR(t.model().Find("double")->bytes_per_element, 128.0, 1e-9);
+  // Batch of 5 doubled elements.
+  EXPECT_NEAR(t.model().Find("batch")->bytes_per_element, 640.0, 1e-9);
+}
+
+TEST(ModelTest, CardinalityEstimatesMatchGroundTruth) {
+  auto t = TracedChain::Make();
+  // 100 records total; batch divides by 5.
+  EXPECT_NEAR(t.model().Find("interleave")->cardinality, 100.0, 5.0);
+  EXPECT_NEAR(t.model().Find("double")->cardinality, 100.0, 5.0);
+  EXPECT_NEAR(t.model().Find("batch")->cardinality, 20.0, 1.0);
+}
+
+TEST(ModelTest, MaterializedBytesPropagate) {
+  auto t = TracedChain::Make();
+  // Source: ~100 x (64+framing) disk bytes -> payload-only materializes
+  // 100 x 64 at the interleave output.
+  EXPECT_NEAR(t.model().Find("interleave")->materialized_bytes, 6400.0, 500.0);
+  EXPECT_NEAR(t.model().Find("double")->materialized_bytes, 12800.0, 1000.0);
+}
+
+TEST(ModelTest, SourceSizeEstimateExactWhenFullyRead) {
+  auto t = TracedChain::Make();
+  const auto estimates = t.model().EstimateSourceSizes();
+  ASSERT_EQ(estimates.count("data/"), 1u);
+  const auto& est = estimates.at("data/");
+  EXPECT_EQ(est.files_seen, 4u);
+  EXPECT_EQ(est.files_total, 4u);
+  const double truth = 100.0 * (64 + kRecordFramingBytes);
+  EXPECT_NEAR(est.estimated_bytes, truth, 1.0);
+}
+
+TEST(ModelTest, SubsampledSourceEstimateRescales) {
+  // Trace only a fraction of the dataset (stop after a few batches) and
+  // check the m/n-rescaled estimate still lands near the truth.
+  PipelineTestEnv env(/*num_files=*/16, /*records_per_file=*/25,
+                      /*record_bytes=*/64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Batch("batch", n, 5);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             env.Options()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 5.0;
+  topts.max_batches = 10;  // reads ~2 of 16 files
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  const auto est = model.EstimateSourceSizes().at("data/");
+  EXPECT_LT(est.files_seen, 16u);
+  EXPECT_GT(est.files_seen, 0u);
+  const double truth = 16 * 25 * (64.0 + kRecordFramingBytes);
+  EXPECT_NEAR(est.estimated_bytes, truth, 0.15 * truth);
+}
+
+TEST(ModelTest, RandomUdfTaintsDownstreamOnly) {
+  PipelineTestEnv env(2, 20, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("pre", n, "double_size");
+  n = b.Map("aug", n, "rand_aug");
+  n = b.Map("post", n, "noop");
+  n = b.Batch("batch", n, 5);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             env.Options()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 5.0;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  EXPECT_FALSE(model.Find("pre")->random_tainted);
+  EXPECT_TRUE(model.Find("pre")->cacheable);
+  EXPECT_TRUE(model.Find("aug")->random_tainted);
+  EXPECT_FALSE(model.Find("aug")->cacheable);
+  EXPECT_TRUE(model.Find("post")->random_tainted);
+  EXPECT_FALSE(model.Find("post")->cacheable);
+  EXPECT_FALSE(model.Find("batch")->cacheable);
+}
+
+TEST(ModelTest, InfiniteRepeatPoisonsCardinality) {
+  PipelineTestEnv env(2, 20, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("m", n, "noop");
+  n = b.ShuffleAndRepeat("sr", n, 8);
+  n = b.Batch("batch", n, 5);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             env.Options()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 0.2;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  // Below the repeat: finite and cacheable. At/above: infinite.
+  EXPECT_TRUE(model.Find("m")->cacheable);
+  EXPECT_EQ(model.Find("sr")->cardinality, kModelInfinite);
+  EXPECT_EQ(model.Find("batch")->cardinality, kModelInfinite);
+  EXPECT_FALSE(model.Find("batch")->cacheable);
+}
+
+TEST(ModelTest, BelowCacheNodesAreFree) {
+  PipelineTestEnv env(2, 20, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("expensive", n, "slow");
+  n = b.Cache("cache", n);
+  n = b.Repeat("repeat", n, -1);
+  n = b.Batch("batch", n, 5);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             env.Options()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 0.4;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  EXPECT_TRUE(model.Find("expensive")->below_cache);
+  EXPECT_TRUE(model.Find("interleave")->below_cache);
+  EXPECT_FALSE(model.Find("batch")->below_cache);
+  // LP stages must exclude the freed subtree.
+  for (const auto& stage : model.LpStages()) {
+    EXPECT_NE(stage.name, "expensive");
+    EXPECT_NE(stage.name, "interleave");
+  }
+}
+
+TEST(ModelTest, RatesIdentifyTheExpensiveStage) {
+  PipelineTestEnv env(4, 50, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("cheap", n, "noop");
+  n = b.Map("expensive", n, "slow");  // 200us/element
+  n = b.Batch("batch", n, 5);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             env.Options()))
+                      .value();
+  TraceOptions topts;
+  topts.trace_seconds = 5.0;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  const NodeModel* expensive = model.Find("expensive");
+  ASSERT_NE(expensive, nullptr);
+  EXPECT_GT(expensive->cpu_seconds, 0);
+  // 200us x 5 elements/minibatch -> ~1000 minibatches/sec/core.
+  EXPECT_NEAR(expensive->rate_per_core, 1000.0, 400.0);
+  // Bottleneck ranking puts the expensive parallelizable stage first.
+  const auto ranking = model.RankBottlenecks();
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking.front(), "expensive");
+}
+
+TEST(ModelTest, DiskBytesPerMinibatch) {
+  auto t = TracedChain::Make();
+  // 5 records of (64 + framing) bytes per minibatch.
+  EXPECT_NEAR(t.model().DiskBytesPerMinibatch(),
+              5.0 * (64 + kRecordFramingBytes), 10.0);
+}
+
+}  // namespace
+}  // namespace plumber

@@ -1,0 +1,148 @@
+// Cross-module integration tests: whole-pipeline correctness under
+// rewrites, tracing, and caching.
+#include <gtest/gtest.h>
+
+#include "src/core/rewriter.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::Drain;
+using testing_util::PipelineTestEnv;
+using testing_util::SizeFingerprint;
+
+GraphDef ImageNetLikeGraph(int parallelism) {
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2,
+                        parallelism);
+  n = b.Map("parse", n, "noop", parallelism);
+  n = b.Map("decode", n, "double_size", parallelism);
+  n = b.Shuffle("shuffle", n, 32);
+  n = b.Batch("batch", n, 4);
+  n = b.Prefetch("prefetch", n, 2);
+  return std::move(b.Build(n)).value();
+}
+
+TEST(IntegrationTest, ParallelismDoesNotChangeOutputMultiset) {
+  PipelineTestEnv env(4, 25, 48);
+  auto p1 = std::move(Pipeline::Create(ImageNetLikeGraph(1),
+                                       env.Options()))
+                .value();
+  auto p4 = std::move(Pipeline::Create(ImageNetLikeGraph(4),
+                                       env.Options()))
+                .value();
+  const auto a = Drain(*p1);
+  const auto b = Drain(*p4);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(SizeFingerprint(a), SizeFingerprint(b));
+}
+
+TEST(IntegrationTest, TracingDoesNotChangeResults) {
+  PipelineTestEnv env(4, 25, 48);
+  PipelineOptions traced = env.Options();
+  traced.tracing_enabled = true;
+  PipelineOptions untraced = env.Options();
+  untraced.tracing_enabled = false;
+  auto p1 =
+      std::move(Pipeline::Create(ImageNetLikeGraph(2), traced)).value();
+  auto p2 =
+      std::move(Pipeline::Create(ImageNetLikeGraph(2), untraced)).value();
+  EXPECT_EQ(SizeFingerprint(Drain(*p1)), SizeFingerprint(Drain(*p2)));
+}
+
+TEST(IntegrationTest, CacheInjectionPreservesOutputs) {
+  PipelineTestEnv env(4, 25, 48);
+  GraphDef plain = ImageNetLikeGraph(2);
+  GraphDef cached = plain;
+  ASSERT_TRUE(rewriter::InjectCache(&cached, "decode").ok());
+  auto p1 = std::move(Pipeline::Create(plain, env.Options())).value();
+  auto p2 = std::move(Pipeline::Create(cached, env.Options())).value();
+  EXPECT_EQ(SizeFingerprint(Drain(*p1)), SizeFingerprint(Drain(*p2)));
+}
+
+TEST(IntegrationTest, PrefetchInjectionPreservesOutputs) {
+  PipelineTestEnv env(4, 25, 48);
+  GraphDef plain = ImageNetLikeGraph(2);
+  GraphDef prefetched = plain;
+  ASSERT_TRUE(rewriter::InjectPrefetch(&prefetched, "decode", 4).ok());
+  ASSERT_TRUE(rewriter::EnsureRootPrefetch(&prefetched, 8).ok());
+  auto p1 = std::move(Pipeline::Create(plain, env.Options())).value();
+  auto p2 = std::move(Pipeline::Create(prefetched, env.Options())).value();
+  EXPECT_EQ(SizeFingerprint(Drain(*p1)), SizeFingerprint(Drain(*p2)));
+}
+
+TEST(IntegrationTest, SerializedProgramReinstantiatesIdentically) {
+  // "All Plumber traces are also valid programs": round-trip the graph
+  // through text and check the pipeline behaves the same.
+  PipelineTestEnv env(4, 25, 48);
+  const GraphDef original = ImageNetLikeGraph(2);
+  auto parsed = GraphDef::Parse(original.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  auto p1 = std::move(Pipeline::Create(original, env.Options())).value();
+  auto p2 = std::move(Pipeline::Create(*parsed, env.Options())).value();
+  EXPECT_EQ(SizeFingerprint(Drain(*p1)), SizeFingerprint(Drain(*p2)));
+}
+
+TEST(IntegrationTest, DeterministicAcrossRunsWithSameSeed) {
+  PipelineTestEnv env(4, 25, 48);
+  auto make = [&]() {
+    PipelineOptions options = env.Options();
+    options.seed = 99;
+    return std::move(Pipeline::Create(ImageNetLikeGraph(1), options))
+        .value();
+  };
+  auto p1 = make();
+  auto p2 = make();
+  const auto a = Drain(*p1);
+  const auto b = Drain(*p2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].components, b[i].components) << "batch " << i;
+  }
+}
+
+TEST(IntegrationTest, HeavilyRewrittenPipelineStillCorrect) {
+  PipelineTestEnv env(4, 25, 48);
+  GraphDef g = ImageNetLikeGraph(1);
+  ASSERT_TRUE(rewriter::SetAllParallelism(&g, 6).ok());
+  ASSERT_TRUE(rewriter::InjectCache(&g, "parse").ok());
+  ASSERT_TRUE(rewriter::InjectPrefetch(&g, "decode", 3).ok());
+  ASSERT_TRUE(rewriter::EnsureRootPrefetch(&g, 4).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  auto plain =
+      std::move(Pipeline::Create(ImageNetLikeGraph(1), env.Options()))
+          .value();
+  auto rewritten = std::move(Pipeline::Create(g, env.Options())).value();
+  EXPECT_EQ(SizeFingerprint(Drain(*plain)),
+            SizeFingerprint(Drain(*rewritten)));
+}
+
+TEST(IntegrationTest, StatsConservationAcrossChain) {
+  // Elements consumed by each stage equal elements produced by its
+  // child (no loss or duplication inside the engine).
+  PipelineTestEnv env(4, 25, 48);
+  auto pipeline =
+      std::move(Pipeline::Create(ImageNetLikeGraph(2), env.Options()))
+          .value();
+  Drain(*pipeline);
+  const auto snap = pipeline->stats().Snapshot();
+  auto find = [&](const std::string& name) -> const IteratorStatsSnapshot& {
+    for (const auto& s : snap) {
+      if (s.name == name) return s;
+    }
+    static IteratorStatsSnapshot empty;
+    return empty;
+  };
+  EXPECT_EQ(find("parse").elements_consumed,
+            find("interleave").elements_produced);
+  EXPECT_EQ(find("decode").elements_consumed,
+            find("parse").elements_produced);
+  EXPECT_EQ(find("shuffle").elements_consumed,
+            find("decode").elements_produced);
+  // 100 records -> 25 batches of 4.
+  EXPECT_EQ(find("batch").elements_produced, 25u);
+}
+
+}  // namespace
+}  // namespace plumber

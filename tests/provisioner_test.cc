@@ -1,0 +1,206 @@
+// Tests for the resource provisioner (paper §4.1 future work: match a
+// target throughput with minimal resources / minimal cost).
+#include "src/core/provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/optimizer.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+// Builds a traced model of a two-map pipeline: "expensive" at
+// 200us/element and a free map, batch 5 (so the expensive stage costs
+// ~1ms of CPU per minibatch => ~1000 mb/s/core).
+class ProvisionerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<PipelineTestEnv>(4, 200, 64);
+    GraphBuilder b;
+    auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 2);
+    n = b.Map("expensive", n, "slow", /*parallelism=*/4);
+    n = b.Map("cheap", n, "noop");
+    n = b.ShuffleAndRepeat("sr", n, 16);
+    n = b.Batch("batch", n, 5);
+    n = b.Prefetch("prefetch", n, 2);
+    GraphDef graph = std::move(b.Build(n)).value();
+
+    auto pipeline =
+        std::move(Pipeline::Create(graph, env_->Options())).value();
+    TraceOptions topts;
+    topts.trace_seconds = 0.4;
+    topts.machine = MachineSpec::SetupA();
+    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+    pipeline->Cancel();
+    model_ = std::make_unique<PipelineModel>(
+        std::move(PipelineModel::Build(trace, &env_->udfs)).value());
+  }
+
+  const NodeModel& Node(const std::string& name) {
+    const NodeModel* node = model_->Find(name);
+    EXPECT_NE(node, nullptr) << name;
+    return *node;
+  }
+
+  std::unique_ptr<PipelineTestEnv> env_;
+  std::unique_ptr<PipelineModel> model_;
+};
+
+TEST_F(ProvisionerTest, CoresScaleLinearlyWithTarget) {
+  ProvisionRequest req;
+  req.target_rate = 100;
+  req.allow_cache = false;
+  const ProvisionPlan at100 = PlanProvision(*model_, req);
+  req.target_rate = 200;
+  const ProvisionPlan at200 = PlanProvision(*model_, req);
+  ASSERT_TRUE(at100.feasible);
+  ASSERT_TRUE(at200.feasible);
+  EXPECT_GT(at100.cores_needed, 0);
+  EXPECT_NEAR(at200.cores_needed, 2 * at100.cores_needed,
+              0.05 * at200.cores_needed);
+}
+
+TEST_F(ProvisionerTest, ExpensiveStageDominatesCoreDemand) {
+  ProvisionRequest req;
+  req.target_rate = 100;
+  req.allow_cache = false;
+  const ProvisionPlan plan = PlanProvision(*model_, req);
+  ASSERT_TRUE(plan.feasible);
+  auto it = plan.theta.find("expensive");
+  ASSERT_NE(it, plan.theta.end());
+  // The 200us map is >10x every other stage.
+  for (const auto& [name, theta] : plan.theta) {
+    if (name == "expensive") continue;
+    EXPECT_LT(theta, it->second) << name;
+  }
+}
+
+TEST_F(ProvisionerTest, DiskDemandProportionalToTarget) {
+  ProvisionRequest req;
+  req.target_rate = 50;
+  req.allow_cache = false;
+  const ProvisionPlan plan = PlanProvision(*model_, req);
+  ASSERT_TRUE(plan.feasible);
+  // 5 records/minibatch x 64 bytes: the bandwidth demand reflects the
+  // traced bytes-per-minibatch at the requested rate.
+  EXPECT_NEAR(plan.disk_bandwidth_needed,
+              50 * model_->DiskBytesPerMinibatch(), 1.0);
+  EXPECT_GT(plan.disk_bandwidth_needed, 0);
+}
+
+TEST_F(ProvisionerTest, CachePlanTradesMemoryForCoresAndIo) {
+  ProvisionRequest req;
+  req.target_rate = 100;
+  req.allow_cache = true;
+  const ProvisionPlan cached = PlanProvision(*model_, req);
+  req.allow_cache = false;
+  const ProvisionPlan uncached = PlanProvision(*model_, req);
+  ASSERT_TRUE(cached.feasible);
+  ASSERT_TRUE(uncached.feasible);
+  EXPECT_TRUE(cached.uses_cache);
+  // Caching above the expensive map removes its core demand entirely
+  // and all of the I/O demand, at a memory cost.
+  EXPECT_LT(cached.cores_needed, uncached.cores_needed);
+  EXPECT_EQ(cached.disk_bandwidth_needed, 0);
+  EXPECT_GT(cached.memory_needed, 0u);
+}
+
+TEST_F(ProvisionerTest, HeadroomInflatesEveryDemand) {
+  ProvisionRequest req;
+  req.target_rate = 100;
+  req.allow_cache = false;
+  const ProvisionPlan base = PlanProvision(*model_, req);
+  req.headroom = 1.5;
+  const ProvisionPlan padded = PlanProvision(*model_, req);
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(padded.feasible);
+  EXPECT_NEAR(padded.cores_needed, 1.5 * base.cores_needed,
+              0.01 * padded.cores_needed);
+  EXPECT_NEAR(padded.disk_bandwidth_needed,
+              1.5 * base.disk_bandwidth_needed,
+              0.01 * padded.disk_bandwidth_needed);
+}
+
+TEST_F(ProvisionerTest, CatalogPicksCheapestSufficientOffer) {
+  // Per-core rate of the expensive stage in the traced model.
+  const double rate = Node("expensive").rate_per_core;
+  ASSERT_GT(rate, 0);
+  const double target = rate * 3;  // needs a bit over 3 cores
+
+  std::vector<MachineOffer> catalog;
+  MachineOffer tiny{"tiny", 2, 1 << 30, 1e9, 1.0};
+  MachineOffer medium{"medium", 8, 1 << 30, 1e9, 4.0};
+  MachineOffer huge{"huge", 64, 16ull << 30, 1e10, 30.0};
+  catalog = {huge, tiny, medium};
+
+  ProvisionRequest req;
+  req.target_rate = target;
+  req.allow_cache = false;
+  const CatalogChoice choice = PickCheapestMachine(*model_, req, catalog);
+  ASSERT_TRUE(choice.feasible);
+  EXPECT_EQ(choice.offer.name, "medium");
+  EXPECT_DOUBLE_EQ(choice.cost_per_hour, 4.0);
+}
+
+TEST_F(ProvisionerTest, CatalogInfeasibleWhenNothingFits) {
+  std::vector<MachineOffer> catalog = {{"tiny", 1, 1 << 20, 1e3, 1.0}};
+  ProvisionRequest req;
+  req.target_rate = 1e7;  // absurd target
+  const CatalogChoice choice = PickCheapestMachine(*model_, req, catalog);
+  EXPECT_FALSE(choice.feasible);
+}
+
+TEST_F(ProvisionerTest, CacheEnablesOtherwiseInfeasibleOffer) {
+  // An offer with no disk bandwidth can only work with a cache.
+  const double rate = Node("expensive").rate_per_core;
+  std::vector<MachineOffer> catalog = {
+      {"diskless", 32, 64ull << 20, /*disk_bandwidth=*/0, 2.0}};
+  ProvisionRequest req;
+  req.target_rate = rate;  // 1 core worth
+  req.allow_cache = false;
+  EXPECT_FALSE(PickCheapestMachine(*model_, req, catalog).feasible);
+  req.allow_cache = true;
+  const CatalogChoice cached = PickCheapestMachine(*model_, req, catalog);
+  ASSERT_TRUE(cached.feasible);
+  EXPECT_TRUE(cached.plan.uses_cache);
+}
+
+TEST_F(ProvisionerTest, SequentialStageBoundsFeasibility) {
+  // Build a pipeline whose bottleneck is a sequential (unparallelizable)
+  // map; targets above its rate must be infeasible without a cache.
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 2);
+  n = b.SequentialMap("seq", n, "slow");
+  n = b.ShuffleAndRepeat("sr", n, 16);
+  n = b.Batch("batch", n, 5);
+  GraphDef graph = std::move(b.Build(n)).value();
+  auto pipeline =
+      std::move(Pipeline::Create(graph, env_->Options())).value();
+  TraceOptions topts;
+  topts.trace_seconds = 0.3;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  pipeline->Cancel();
+  auto model = std::move(PipelineModel::Build(trace, &env_->udfs)).value();
+
+  const NodeModel* seq = model.Find("seq");
+  ASSERT_NE(seq, nullptr);
+  ProvisionRequest req;
+  req.target_rate = seq->rate_per_core * 4;
+  req.allow_cache = false;
+  const ProvisionPlan plan = PlanProvision(model, req);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("seq"), std::string::npos);
+  // With caching allowed, materializing above the sequential stage
+  // makes the target reachable again.
+  req.allow_cache = true;
+  const ProvisionPlan cached = PlanProvision(model, req);
+  EXPECT_TRUE(cached.feasible);
+  EXPECT_TRUE(cached.uses_cache);
+}
+
+}  // namespace
+}  // namespace plumber

@@ -1,0 +1,138 @@
+// Tests for the roofline-style bound report.
+#include "src/core/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/optimizer.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+PipelineModel TraceModel(PipelineTestEnv& env, const GraphDef& graph,
+                         const MachineSpec& machine,
+                         double seconds = 0.35) {
+  auto pipeline = std::move(Pipeline::Create(graph, env.Options())).value();
+  TraceOptions topts;
+  topts.trace_seconds = seconds;
+  topts.machine = machine;
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  pipeline->Cancel();
+  return std::move(PipelineModel::Build(trace, &env.udfs)).value();
+}
+
+GraphDef TwoStageGraph(int slow_parallelism) {
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 2);
+  n = b.Map("work", n, "slow", slow_parallelism);
+  n = b.ShuffleAndRepeat("sr", n, 16);
+  n = b.Batch("batch", n, 5);
+  return std::move(b.Build(n)).value();
+}
+
+TEST(RooflineTest, BindingStageIsTheExpensiveMap) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model);
+  ASSERT_FALSE(report.stages.empty());
+  EXPECT_EQ(report.binding_stage, "work");
+  EXPECT_GT(report.binding_roof, 0);
+  // The 200us map on 16 cores roofs at ~16 cores / (5 * 200us) =
+  // ~16k mb/s; allow a wide band for engine overhead.
+  EXPECT_GT(report.compute_roof, 2000);
+  EXPECT_LT(report.compute_roof, 40000);
+}
+
+TEST(RooflineTest, StagesSortedAscendingByRoof) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model);
+  for (size_t i = 1; i < report.stages.size(); ++i) {
+    EXPECT_LE(report.stages[i - 1].cpu_roof, report.stages[i].cpu_roof);
+  }
+}
+
+TEST(RooflineTest, IoRoofBindsWhenBandwidthTiny) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  // 5 records x 64B per minibatch; 320 B/s of bandwidth = ~1 mb/s roof.
+  const RooflineReport report = BuildRoofline(model, /*disk_bandwidth=*/320);
+  EXPECT_EQ(report.binding_stage, "io");
+  EXPECT_NEAR(report.io_roof, 320 / model.DiskBytesPerMinibatch(), 1e-9);
+  EXPECT_LT(report.binding_roof, report.compute_roof);
+}
+
+TEST(RooflineTest, NoIoRoofWithoutBandwidth) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model, 0);
+  EXPECT_EQ(report.io_roof, 0);
+  EXPECT_NE(report.binding_stage, "io");
+}
+
+TEST(RooflineTest, RoofFractionApproachesOneWhenTuned) {
+  PipelineTestEnv env(4, 200, 64);
+  const MachineSpec machine = MachineSpec::SetupA();
+  // Naive (parallelism 1): far from the roof. Tuned (parallelism 8 on
+  // the bottleneck): closer to it.
+  const PipelineModel naive = TraceModel(env, TwoStageGraph(1), machine);
+  const PipelineModel tuned = TraceModel(env, TwoStageGraph(8), machine);
+  const RooflineReport naive_report = BuildRoofline(naive);
+  const RooflineReport tuned_report = BuildRoofline(tuned);
+  EXPECT_GT(tuned_report.roof_fraction, naive_report.roof_fraction);
+  EXPECT_LE(naive_report.roof_fraction, 1.1);  // achieved can't beat roof
+}
+
+TEST(RooflineTest, SequentialStageRoofCapsAtOneCore) {
+  PipelineTestEnv env(4, 100, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 2);
+  n = b.SequentialMap("seq", n, "slow");
+  n = b.ShuffleAndRepeat("sr", n, 16);
+  n = b.Batch("batch", n, 5);
+  const PipelineModel model = TraceModel(
+      env, std::move(b.Build(n)).value(), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model);
+  const RooflinePoint* seq = nullptr;
+  for (const auto& stage : report.stages) {
+    if (stage.name == "seq") seq = &stage;
+  }
+  ASSERT_NE(seq, nullptr);
+  EXPECT_TRUE(seq->sequential);
+  // Roof equals its single-core rate — the machine size doesn't help.
+  EXPECT_DOUBLE_EQ(seq->cpu_roof, seq->rate_per_core);
+  EXPECT_EQ(report.binding_stage, "seq");
+}
+
+TEST(RooflineTest, CpuSharesSumToAtMostOne) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model);
+  double total = 0;
+  for (const auto& stage : report.stages) {
+    EXPECT_GE(stage.cpu_share, 0);
+    total += stage.cpu_share;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(RooflineTest, ToStringMentionsBindingStage) {
+  PipelineTestEnv env(4, 100, 64);
+  const PipelineModel model =
+      TraceModel(env, TwoStageGraph(2), MachineSpec::SetupA());
+  const RooflineReport report = BuildRoofline(model);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("binding=" + report.binding_stage),
+            std::string::npos);
+  EXPECT_NE(text.find("work"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plumber

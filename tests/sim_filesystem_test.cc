@@ -1,0 +1,154 @@
+#include "src/io/sim_filesystem.h"
+
+#include <gtest/gtest.h>
+
+#include "src/io/storage_device.h"
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace {
+
+TEST(SimFilesystemTest, CreateAndList) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("data/a-0", 1, {100, 200}).ok());
+  ASSERT_TRUE(fs.CreateRecordFile("data/a-1", 2, {50}).ok());
+  ASSERT_TRUE(fs.CreateRawFile("other/b", 3, 1000).ok());
+  EXPECT_EQ(fs.List("data/").size(), 2u);
+  EXPECT_EQ(fs.List("other/").size(), 1u);
+  EXPECT_EQ(fs.List("nope/").size(), 0u);
+  EXPECT_TRUE(fs.Exists("data/a-0"));
+  EXPECT_FALSE(fs.Exists("data/a-2"));
+  EXPECT_EQ(fs.NumFiles(), 3u);
+}
+
+TEST(SimFilesystemTest, DuplicateCreateFails) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("x", 1, {10}).ok());
+  EXPECT_EQ(fs.CreateRecordFile("x", 1, {10}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs.CreateRawFile("x", 1, 10).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SimFilesystemTest, FileSizeIncludesFraming) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("x", 1, {100, 200}).ok());
+  auto size = fs.FileSize("x");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 300 + 2 * kRecordFramingBytes);
+  EXPECT_FALSE(fs.FileSize("missing").ok());
+}
+
+TEST(RecordReaderTest, ReadsAllRecordsWithCorrectSizes) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("x", 7, {10, 20, 30}).ok());
+  auto reader = std::move(fs.OpenRecord("x")).value();
+  std::vector<uint8_t> payload;
+  bool end = false;
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  EXPECT_FALSE(end);
+  EXPECT_EQ(payload.size(), 10u);
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  EXPECT_EQ(payload.size(), 20u);
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  EXPECT_EQ(payload.size(), 30u);
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  EXPECT_TRUE(end);
+}
+
+TEST(RecordReaderTest, ContentDeterministicPerRecord) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("x", 7, {64, 64}).ok());
+  auto r1 = std::move(fs.OpenRecord("x")).value();
+  auto r2 = std::move(fs.OpenRecord("x")).value();
+  std::vector<uint8_t> a, b;
+  bool end;
+  ASSERT_TRUE(r1->ReadRecord(&a, &end).ok());
+  ASSERT_TRUE(r2->ReadRecord(&b, &end).ok());
+  EXPECT_EQ(a, b);
+  // Second record differs from the first.
+  ASSERT_TRUE(r1->ReadRecord(&b, &end).ok());
+  EXPECT_NE(a, b);
+}
+
+TEST(SimFilesystemTest, ReadLogTracksBytesAndCompletion) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRecordFile("x", 7, {100, 100}).ok());
+  auto reader = std::move(fs.OpenRecord("x")).value();
+  std::vector<uint8_t> payload;
+  bool end;
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  auto log = fs.SnapshotReadLog();
+  ASSERT_EQ(log.count("x"), 1u);
+  EXPECT_EQ(log["x"].bytes_read, 100 + kRecordFramingBytes);
+  EXPECT_FALSE(log["x"].fully_read);
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  log = fs.SnapshotReadLog();
+  EXPECT_TRUE(log["x"].fully_read);
+  EXPECT_EQ(log["x"].file_size, 200 + 2 * kRecordFramingBytes);
+  EXPECT_EQ(fs.total_bytes_read(), 200 + 2 * kRecordFramingBytes);
+  fs.ClearReadLog();
+  EXPECT_EQ(fs.total_bytes_read(), 0u);
+}
+
+TEST(RawReaderTest, ReadsAndLoops) {
+  SimFilesystem fs;
+  ASSERT_TRUE(fs.CreateRawFile("x", 7, 100).ok());
+  auto reader = std::move(fs.OpenRaw("x")).value();
+  EXPECT_EQ(reader->Read(60), 60u);
+  EXPECT_EQ(reader->Read(60), 40u);  // truncated at EOF
+  EXPECT_EQ(reader->Read(60), 0u);   // EOF, no loop
+  EXPECT_EQ(reader->Read(60, /*loop=*/true), 60u);
+}
+
+TEST(SimFilesystemTest, DeviceChargedForReads) {
+  StorageDevice device(DeviceSpec::Unlimited());
+  SimFilesystem fs(&device);
+  ASSERT_TRUE(fs.CreateRecordFile("x", 7, {100}).ok());
+  auto reader = std::move(fs.OpenRecord("x")).value();
+  std::vector<uint8_t> payload;
+  bool end;
+  ASSERT_TRUE(reader->ReadRecord(&payload, &end).ok());
+  EXPECT_EQ(device.total_bytes_read(), 100 + kRecordFramingBytes);
+  EXPECT_EQ(device.total_reads(), 1u);
+}
+
+TEST(StorageDeviceTest, TokenBucketLimitsReadBandwidth) {
+  StorageDevice device(DeviceSpec::TokenBucketLimit(1e6));  // 1MB/s
+  device.SetBandwidth(1e6);
+  SimFilesystem fs(&device);
+  ASSERT_TRUE(fs.CreateRawFile("x", 7, 10 << 20).ok());
+  auto reader = std::move(fs.OpenRaw("x")).value();
+  const int64_t t0 = WallNanos();
+  uint64_t total = 0;
+  // Read 1.2MB beyond the 1MB burst: should take >=0.15s.
+  while (total < 1'200'000 + 1'000'000) {
+    total += reader->Read(100'000, /*loop=*/true);
+  }
+  EXPECT_GT((WallNanos() - t0) * 1e-9, 0.1);
+}
+
+TEST(StorageDeviceTest, PerStreamCapScalesWithParallelism) {
+  DeviceSpec spec = DeviceSpec::CloudStorage(/*aggregate=*/1e12,
+                                             /*per_stream=*/1e6);
+  StorageDevice device(spec);
+  auto s1 = device.OpenStream();
+  auto s2 = device.OpenStream();
+  // Each stream has an independent 1e6/s budget with 1e6 burst:
+  // acquiring 1e6 on both immediately must succeed without waiting on a
+  // shared limit.
+  const int64_t t0 = WallNanos();
+  s1->Charge(1'000'000);
+  s2->Charge(1'000'000);
+  EXPECT_LT((WallNanos() - t0) * 1e-9, 0.2);
+}
+
+TEST(StorageDeviceTest, PresetSpecs) {
+  EXPECT_GT(DeviceSpec::Hdd().max_bandwidth, 0);
+  EXPECT_GT(DeviceSpec::NvmeSsd().max_bandwidth,
+            DeviceSpec::Hdd().max_bandwidth);
+  EXPECT_EQ(DeviceSpec::Unlimited().max_bandwidth, 0);
+}
+
+}  // namespace
+}  // namespace plumber

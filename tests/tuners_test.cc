@@ -1,0 +1,170 @@
+#include "src/tuners/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rewriter.h"
+#include "src/core/tracer.h"
+#include "src/tuners/autotune.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+GraphDef TwoMapGraph() {
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("cheap", n, "noop");
+  n = b.Map("expensive", n, "slow");
+  n = b.Batch("batch", n, 5);
+  return std::move(b.Build(n)).value();
+}
+
+PipelineModel TraceModel(PipelineTestEnv& env, const GraphDef& graph,
+                         double seconds = 0.5) {
+  auto pipeline =
+      std::move(Pipeline::Create(graph, env.Options())).value();
+  TraceOptions topts;
+  topts.trace_seconds = seconds;
+  topts.machine = MachineSpec::SetupA();
+  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+  return std::move(PipelineModel::Build(trace, &env.udfs)).value();
+}
+
+TEST(NaiveConfigTest, ResetsParallelismAndAddsPrefetch) {
+  GraphDef g = TwoMapGraph();
+  ASSERT_TRUE(rewriter::SetParallelism(&g, "expensive", 8).ok());
+  const GraphDef naive = NaiveConfiguration(g);
+  EXPECT_EQ(*rewriter::GetParallelism(naive, "expensive"), 1);
+  EXPECT_EQ(naive.FindNode(naive.output())->op, "prefetch");
+}
+
+TEST(NaiveConfigTest, WithoutPrefetch) {
+  const GraphDef naive =
+      NaiveConfiguration(TwoMapGraph(), /*with_prefetch=*/false);
+  EXPECT_NE(naive.FindNode(naive.output())->op, "prefetch");
+}
+
+TEST(HeuristicConfigTest, SetsEveryKnobToCores) {
+  const GraphDef heuristic = HeuristicConfiguration(TwoMapGraph(), 16);
+  EXPECT_EQ(*rewriter::GetParallelism(heuristic, "cheap"), 16);
+  EXPECT_EQ(*rewriter::GetParallelism(heuristic, "expensive"), 16);
+  EXPECT_EQ(*rewriter::GetParallelism(heuristic, "interleave"), 16);
+}
+
+TEST(PlumberStepTunerTest, ParallelizesTheBottleneck) {
+  PipelineTestEnv env(4, 50, 64);
+  const GraphDef g = TwoMapGraph();
+  const PipelineModel model = TraceModel(env, g);
+  auto tuner = MakePlumberStepTuner();
+  TunerContext ctx;
+  ctx.model = &model;
+  ctx.machine = MachineSpec::SetupA();
+  auto next = tuner->Step(g, ctx);
+  ASSERT_TRUE(next.ok());
+  // The 200us/element map is the bottleneck: it gets the +1.
+  EXPECT_EQ(*rewriter::GetParallelism(*next, "expensive"), 2);
+  EXPECT_EQ(*rewriter::GetParallelism(*next, "cheap"), 1);
+}
+
+TEST(PlumberStepTunerTest, RespectsCoreCap) {
+  PipelineTestEnv env(4, 50, 64);
+  GraphDef g = TwoMapGraph();
+  MachineSpec tiny = MachineSpec::SetupA();
+  tiny.num_cores = 2;
+  ASSERT_TRUE(rewriter::SetParallelism(&g, "expensive", 2).ok());
+  const PipelineModel model = TraceModel(env, g);
+  auto tuner = MakePlumberStepTuner();
+  TunerContext ctx;
+  ctx.model = &model;
+  ctx.machine = tiny;
+  auto next = tuner->Step(g, ctx);
+  ASSERT_TRUE(next.ok());
+  // expensive is at the cap; the step must go elsewhere (or nowhere).
+  EXPECT_EQ(*rewriter::GetParallelism(*next, "expensive"), 2);
+}
+
+TEST(PlumberStepTunerTest, NeedsModel) {
+  auto tuner = MakePlumberStepTuner();
+  TunerContext ctx;
+  EXPECT_FALSE(tuner->Step(TwoMapGraph(), ctx).ok());
+}
+
+TEST(RandomWalkTunerTest, IncrementsExactlyOneKnob) {
+  Rng rng(5);
+  auto tuner = MakeRandomWalkTuner();
+  TunerContext ctx;
+  ctx.machine = MachineSpec::SetupA();
+  ctx.rng = &rng;
+  const GraphDef g = TwoMapGraph();
+  auto next = tuner->Step(g, ctx);
+  ASSERT_TRUE(next.ok());
+  int total_before = 0, total_after = 0;
+  for (const auto& node : rewriter::TunableNodes(g)) {
+    total_before += *rewriter::GetParallelism(g, node);
+    total_after += *rewriter::GetParallelism(*next, node);
+  }
+  EXPECT_EQ(total_after, total_before + 1);
+}
+
+TEST(LocalEstimateTest, PredictsAtLeastObserved) {
+  PipelineTestEnv env(4, 50, 64);
+  const PipelineModel model = TraceModel(env, TwoMapGraph());
+  EXPECT_GE(LocalEstimateMaxRate(model), model.observed_rate() * 0.5);
+}
+
+TEST(AutotuneTest, LatencyDecreasesWithParallelism) {
+  PipelineTestEnv env(4, 50, 64);
+  const PipelineModel model = TraceModel(env, TwoMapGraph());
+  std::map<std::string, int> p1{{"expensive", 1}};
+  std::map<std::string, int> p8{{"expensive", 8}};
+  EXPECT_GT(AutotuneEstimateLatency(model, p1),
+            AutotuneEstimateLatency(model, p8));
+}
+
+TEST(AutotuneTest, EstimateIsUnboundedInParallelism) {
+  // The paper's core criticism: the latency model can be driven toward
+  // zero, so the implied rate grows without resource limits.
+  PipelineTestEnv env(4, 50, 64);
+  const PipelineModel model = TraceModel(env, TwoMapGraph());
+  std::map<std::string, int> extreme;
+  for (const auto& node : model.nodes()) extreme[node.name] = 10000;
+  const double latency = AutotuneEstimateLatency(model, extreme);
+  const double rate = 1.0 / latency;
+  // Far beyond anything 16 cores could deliver for a 200us/element map.
+  EXPECT_GT(rate, 10000.0);
+}
+
+TEST(AutotuneTest, HillClimbingAllocatesMostToBottleneck) {
+  PipelineTestEnv env(4, 50, 64);
+  const GraphDef g = TwoMapGraph();
+  const PipelineModel model = TraceModel(env, g);
+  AutotuneOptions options;
+  options.max_parallelism = 16;
+  auto result = AutotuneConfiguration(g, model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->parallelism.at("expensive"),
+            result->parallelism.at("cheap"));
+  EXPECT_GT(result->parallelism.at("expensive"), 4);
+  EXPECT_GT(result->predicted_rate, 0);
+  // The chosen parallelism is applied to the returned graph.
+  EXPECT_EQ(*rewriter::GetParallelism(result->graph, "expensive"),
+            result->parallelism.at("expensive"));
+}
+
+TEST(AutotuneTest, RespectsPerKnobCap) {
+  PipelineTestEnv env(4, 50, 64);
+  const GraphDef g = TwoMapGraph();
+  const PipelineModel model = TraceModel(env, g);
+  AutotuneOptions options;
+  options.max_parallelism = 4;
+  auto result = AutotuneConfiguration(g, model, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [knob, value] : result->parallelism) {
+    EXPECT_LE(value, 4) << knob;
+  }
+}
+
+}  // namespace
+}  // namespace plumber
