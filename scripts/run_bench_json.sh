@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench harness driver: runs selected bench binaries and writes
+# machine-readable BENCH_<name>.json files (plus BENCH_summary.json) so
+# the perf trajectory accumulates from PR to PR.
+#
+# Usage: run_bench_json.sh <bin_dir> <out_dir> <bench_name>...
+#
+# bench_micro_* binaries are Google Benchmark programs and emit native
+# JSON; plain-main benches are timed and wrapped in a small JSON record.
+set -u
+
+if [ $# -lt 3 ]; then
+  echo "usage: $0 <bin_dir> <out_dir> <bench_name>..." >&2
+  exit 2
+fi
+
+bin_dir=$1
+out_dir=$2
+shift 2
+
+now_s() { date +%s.%N; }
+elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+
+entries=""
+overall=0
+for name in "$@"; do
+  bin="$bin_dir/$name"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP $name: not built" >&2
+    continue
+  fi
+  out="$out_dir/BENCH_${name}.json"
+  start=$(now_s)
+  case "$name" in
+    bench_micro_*)
+      "$bin" --benchmark_format=json --benchmark_out="$out" \
+        >"$out_dir/BENCH_${name}.log" 2>&1
+      status=$?
+      ;;
+    *)
+      "$bin" >"$out_dir/BENCH_${name}.log" 2>&1
+      status=$?
+      ;;
+  esac
+  end=$(now_s)
+  wall=$(elapsed "$start" "$end")
+  case "$name" in
+    bench_micro_*) ;;  # native JSON already written
+    *)
+      printf '{"bench":"%s","exit_code":%d,"wall_seconds":%s}\n' \
+        "$name" "$status" "$wall" > "$out"
+      ;;
+  esac
+  entries="${entries:+$entries,}{\"bench\":\"$name\",\"exit_code\":$status,\"wall_seconds\":$wall}"
+  [ "$status" -ne 0 ] && overall=1
+  echo "BENCH $name: exit=$status wall=${wall}s -> $out"
+done
+
+printf '{"host_cores":%s,"benches":[%s]}\n' "$(nproc)" "$entries" \
+  > "$out_dir/BENCH_summary.json"
+echo "Wrote $out_dir/BENCH_summary.json"
+exit "$overall"

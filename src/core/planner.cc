@@ -86,13 +86,41 @@ LpPlan PlanFromStages(const std::vector<MaxMinStage>& stages,
     plan.disk_limited = true;
   }
 
+  // Integer parallelism from fractional theta. Rounding every stage up
+  // overcommits the LP's own core budget — theta 7.9 becomes 8 workers,
+  // every near-zero stage becomes 1 more — so the extra threads contend
+  // with the sequential stages and the consumer, and the "tuned"
+  // pipeline can measure slower than its input. Grant floor(theta)
+  // (min 1) to each parallelizable stage, then hand out any whole cores
+  // the plan still has left by largest fractional remainder.
+  double sequential_demand = 0;
+  std::vector<std::pair<double, std::string>> remainders;
+  int granted = 0;
   for (size_t i = 0; i < stages.size(); ++i) {
     plan.theta[stages[i].name] = solution.theta[i];
     const NodeModel* node = model.Find(stages[i].name);
-    if (node != nullptr && node->parallelizable) {
-      plan.parallelism[stages[i].name] =
-          std::max<int>(1, static_cast<int>(std::ceil(solution.theta[i])));
+    if (node == nullptr || !node->parallelizable) {
+      sequential_demand += solution.theta[i];
+      continue;
     }
+    const double theta = solution.theta[i];
+    const double whole = std::floor(theta + 1e-9);
+    const int base = std::max<int>(1, static_cast<int>(whole));
+    plan.parallelism[stages[i].name] = base;
+    // A near-idle stage's minimum worker (theta < 1) is demand-free —
+    // it mostly blocks — so it must not eat the budget ahead of the
+    // bottleneck's fractional remainder.
+    if (theta >= 1.0 - 1e-9) granted += base;
+    const double frac = theta - whole;
+    if (frac > 1e-6) remainders.emplace_back(frac, stages[i].name);
+  }
+  const int budget = std::max(
+      1, static_cast<int>(std::floor(cores - sequential_demand + 1e-9)));
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (const auto& [frac, name] : remainders) {
+    if (granted >= budget) break;
+    ++plan.parallelism[name];
+    ++granted;
   }
 
   if (!options.io_curve.empty() && disk_demand > 0) {

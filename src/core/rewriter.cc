@@ -84,7 +84,13 @@ bool HasOp(const GraphDef& graph, const std::string& op) {
 Status ApplyParallelismPlan(GraphDef* graph, const LpPlan& plan) {
   for (const auto& [node, parallelism] : plan.parallelism) {
     const NodeDef* def = graph->FindNode(node);
-    if (def == nullptr || !OpSupportsParallelism(def->op)) continue;
+    // Nodes without a knob — or pinned non-tunable by the user — are
+    // skipped, not errors: a plan entry for them must not abort the
+    // whole rewrite and leave the graph untuned.
+    if (def == nullptr || !OpSupportsParallelism(def->op) ||
+        !def->GetBool(kAttrTunable, true)) {
+      continue;
+    }
     RETURN_IF_ERROR(SetParallelism(graph, node, parallelism));
   }
   return OkStatus();

@@ -264,7 +264,8 @@ class MapAndBatchIterator : public IteratorBase {
         batch.sequence = raw.front().sequence;
         for (Element& in : raw) {
           Element mapped = ExecuteMapUdf(
-              *udf_, in, ctx_->cpu_scale, SplitMix64(seed_ ^ in.sequence));
+              *udf_, in, ctx_->cpu_scale, SplitMix64(seed_ ^ in.sequence),
+              ctx_->work_model);
           for (auto& c : mapped.components) {
             batch.components.push_back(std::move(c));
           }

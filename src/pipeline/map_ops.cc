@@ -1,4 +1,5 @@
 // Map (sequential + parallel) and filter operators.
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <thread>
@@ -52,7 +53,7 @@ class SequentialMapIterator : public IteratorBase {
     if (*end) return OkStatus();
     stats_->RecordConsumed();
     *out = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
-                         SplitMix64(seed_ ^ in.sequence));
+                         SplitMix64(seed_ ^ in.sequence), ctx_->work_model);
     return OkStatus();
   }
 
@@ -76,7 +77,11 @@ class ParallelMapIterator : public IteratorBase {
         parallelism_(parallelism),
         deterministic_(deterministic),
         seed_(seed),
-        queue_(static_cast<size_t>(parallelism) * 2) {
+        // Deep enough to ride out bursty consumers (a shuffle refill or
+        // batch assembly drains several items back-to-back): 2x the
+        // worker count stalls the pool whenever the consumer pauses for
+        // longer than one element's work.
+        queue_(static_cast<size_t>(std::max(8, parallelism * 4))) {
     stats_->SetParallelism(parallelism_);
     active_workers_.store(parallelism_);
     workers_.reserve(parallelism_);
@@ -179,7 +184,8 @@ class ParallelMapIterator : public IteratorBase {
         std::optional<CpuAccountingScope> scope;
         if (ctx_->tracing_enabled) scope.emplace(stats_);
         result = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
-                               SplitMix64(seed_ ^ in.sequence));
+                               SplitMix64(seed_ ^ in.sequence),
+                               ctx_->work_model);
       }
       if (!queue_.Push(Item{order, std::move(result), OkStatus(), false})) {
         break;  // cancelled
@@ -256,7 +262,8 @@ class FilterIterator : public IteratorBase {
       RETURN_IF_ERROR(input_->GetNext(&in, end));
       if (*end) return OkStatus();
       stats_->RecordConsumed();
-      if (ExecuteFilterUdf(*udf_, in, ctx_->cpu_scale, seed_)) {
+      if (ExecuteFilterUdf(*udf_, in, ctx_->cpu_scale, seed_,
+                           ctx_->work_model)) {
         *out = std::move(in);
         return OkStatus();
       }

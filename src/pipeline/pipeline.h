@@ -16,6 +16,10 @@ struct PipelineOptions {
   SimFilesystem* fs = nullptr;
   const UdfRegistry* udfs = nullptr;
   double cpu_scale = 1.0;
+  // How modeled UDF cost executes (see CpuWorkModel in udf.h). kTimed
+  // keeps measurements faithful to the modeled machine on any host;
+  // kPhysical burns real cores for contention experiments.
+  CpuWorkModel work_model = CpuWorkModel::kTimed;
   uint64_t seed = 42;
   bool tracing_enabled = true;
   uint64_t memory_budget_bytes = 0;

@@ -52,29 +52,48 @@ double TotalCostNs(const UdfSpec& spec, size_t input_bytes, double cpu_scale) {
          (spec.cost_ns_per_element + spec.cost_ns_per_byte * input_bytes);
 }
 
-void BurnWithInternalParallelism(const UdfSpec& spec, double total_ns,
-                                 uint64_t seed) {
+// Under kTimed, costs below this still spin: a timed wait cannot hit
+// sub-100us targets precisely (timer slack), and costs that small
+// cannot meaningfully oversubscribe a host either.
+constexpr double kTimedWorkMinNs = 100e3;
+
+void ExecuteCostNs(double ns, uint64_t seed, bool timed) {
+  if (timed) {
+    OccupyWallNanos(static_cast<int64_t>(ns), seed);
+  } else {
+    BurnCpuNanos(static_cast<int64_t>(ns), seed);
+  }
+}
+
+void ExecuteWithInternalParallelism(const UdfSpec& spec, double total_ns,
+                                    uint64_t seed, CpuWorkModel model) {
+  // Timed-vs-spin is decided on the call's total cost, not the
+  // per-thread slice: an internally-parallel UDF must not fall back to
+  // burning k physical cores just because each slice is small.
+  const bool timed =
+      model == CpuWorkModel::kTimed && total_ns >= kTimedWorkMinNs;
   const int k = std::max(1, spec.internal_parallelism);
   if (k == 1) {
-    BurnCpuNanos(static_cast<int64_t>(total_ns), seed);
+    ExecuteCostNs(total_ns, seed, timed);
     return;
   }
   // The logical call's work is split across k threads; wall time shrinks
   // but total CPU consumed stays (roughly) the same, reproducing the
   // "1 parallelism uses nearly 3 cores" hazard.
-  const int64_t per_thread = static_cast<int64_t>(total_ns / k);
+  const double per_thread = total_ns / k;
   ParallelFor(k, k, [&](int i) {
-    BurnCpuNanos(per_thread, SplitMix64(seed ^ static_cast<uint64_t>(i)));
+    ExecuteCostNs(per_thread, SplitMix64(seed ^ static_cast<uint64_t>(i)),
+                  timed);
   });
 }
 
 }  // namespace
 
 Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
-                      double cpu_scale, uint64_t seed) {
+                      double cpu_scale, uint64_t seed, CpuWorkModel model) {
   const size_t input_bytes = input.TotalBytes();
-  BurnWithInternalParallelism(spec, TotalCostNs(spec, input_bytes, cpu_scale),
-                              seed);
+  ExecuteWithInternalParallelism(
+      spec, TotalCostNs(spec, input_bytes, cpu_scale), seed, model);
   const size_t output_bytes = static_cast<size_t>(
       std::max(0.0, input_bytes * spec.size_ratio + spec.size_offset_bytes));
   Element out;
@@ -97,9 +116,9 @@ Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
 }
 
 bool ExecuteFilterUdf(const UdfSpec& spec, const Element& input,
-                      double cpu_scale, uint64_t seed) {
-  BurnWithInternalParallelism(
-      spec, TotalCostNs(spec, input.TotalBytes(), cpu_scale), seed);
+                      double cpu_scale, uint64_t seed, CpuWorkModel model) {
+  ExecuteWithInternalParallelism(
+      spec, TotalCostNs(spec, input.TotalBytes(), cpu_scale), seed, model);
   if (spec.keep_fraction >= 1.0) return true;
   const uint64_t h = SplitMix64(seed ^ (input.sequence * 0x9e3779b97f4a7c15ULL));
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;

@@ -20,6 +20,24 @@
 
 namespace plumber {
 
+// How modeled UDF cost executes at runtime.
+//
+// kTimed (default): the cost occupies one core of the *modeled* machine
+// for its duration, implemented as a timed wait. Concurrent modeled
+// work overlaps on any host — including hosts with fewer physical cores
+// than MachineSpec::num_cores — so measured speedups reflect the
+// machine being simulated, not the machine running the simulation. The
+// wait is charged to the virtual thread-CPU clock (it is not a
+// BlockedRegion), so tracing and the LP see the same per-element cost
+// a physical burn would produce. Costs too small to wait on precisely
+// still spin.
+//
+// kPhysical: the cost burns a physical core (calibrated spin rounds).
+// Use for experiments that need real core contention (oversubscription
+// and affinity studies); requires the host to actually have the cores
+// the machine spec claims.
+enum class CpuWorkModel { kTimed, kPhysical };
+
 struct UdfSpec {
   std::string name;
   // CPU cost model: burned thread-CPU nanoseconds per call.
@@ -55,16 +73,18 @@ class UdfRegistry {
   std::map<std::string, UdfSpec> udfs_;
 };
 
-// Executes a map-style UDF: burns the modeled CPU cost (splitting it
+// Executes a map-style UDF: executes the modeled CPU cost (splitting it
 // over internal_parallelism threads) and produces the transformed
 // element. `cpu_scale` multiplies the cost (machine speed modeling).
 Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
-                      double cpu_scale, uint64_t seed);
+                      double cpu_scale, uint64_t seed,
+                      CpuWorkModel model = CpuWorkModel::kTimed);
 
-// Executes a filter-style UDF; returns the keep decision. Burns the
+// Executes a filter-style UDF; returns the keep decision. Executes the
 // modeled predicate cost. Decisions are deterministic in (seed,
 // element.sequence) so reruns keep the same elements.
 bool ExecuteFilterUdf(const UdfSpec& spec, const Element& input,
-                      double cpu_scale, uint64_t seed);
+                      double cpu_scale, uint64_t seed,
+                      CpuWorkModel model = CpuWorkModel::kTimed);
 
 }  // namespace plumber

@@ -1,5 +1,8 @@
 #include "src/util/busy_work.h"
 
+#include <cerrno>
+#include <ctime>
+
 #include <algorithm>
 #include <atomic>
 #include <mutex>
@@ -67,6 +70,27 @@ uint64_t BurnCpuNanos(int64_t ns, uint64_t seed) {
   // A fixed round count is the correct notion of "CPU work": it costs
   // the same CPU regardless of preemption or oversubscription.
   return RunRounds(seed | 1, rounds);
+}
+
+uint64_t OccupyWallNanos(int64_t ns, uint64_t seed) {
+  if (ns <= 0) return seed;
+  // Sleep up to the spin tail, then spin-wait the rest: nanosleep alone
+  // overshoots by the kernel timer slack (~50us), which would distort
+  // per-element costs in the hundreds-of-microseconds range.
+  constexpr int64_t kSpinTailNanos = 50000;
+  const int64_t deadline = WallNanos() + ns;
+  if (ns > kSpinTailNanos) {
+    const int64_t wake = deadline - kSpinTailNanos;
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(wake / 1000000000LL);
+    ts.tv_nsec = static_cast<long>(wake % 1000000000LL);
+    while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr) ==
+           EINTR) {
+    }
+  }
+  uint64_t state = seed | 1;
+  while (WallNanos() < deadline) state = RunRounds(state, 64);
+  return state;
 }
 
 void TransformBuffer(const std::vector<uint8_t>& input, size_t output_bytes,

@@ -18,6 +18,16 @@ namespace plumber {
 // (keeping the work observable). ns <= 0 is a no-op.
 uint64_t BurnCpuNanos(int64_t ns, uint64_t seed = 0);
 
+// Occupies one core of the *modeled* machine for `ns` wall-nanoseconds
+// without monopolizing a physical core: sleeps toward an absolute
+// deadline, then spin-waits the final stretch for sub-timer-slack
+// precision. Unlike BurnCpuNanos, concurrent callers overlap even when
+// the host has fewer physical cores than the machine being simulated.
+// Callers account the time as CPU work (it is deliberately NOT a
+// BlockedRegion, so the virtual thread-CPU clock charges it in full).
+// Returns the mixed state like BurnCpuNanos. ns <= 0 is a no-op.
+uint64_t OccupyWallNanos(int64_t ns, uint64_t seed = 0);
+
 // Rounds of the spin kernel per nanosecond (calibrated on first use).
 double SpinRoundsPerNano();
 

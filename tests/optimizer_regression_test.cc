@@ -1,0 +1,79 @@
+// Regression guards for the optimizer's parallelism pass: an
+// "optimized" pipeline must never measure slower than the input it was
+// derived from, and the plan must respect its own core budget. These
+// pin the fix for the over-allocation bug where ceil(theta) rounding
+// plus unconditional knob application produced tuned graphs slower
+// than the misconfigured originals.
+#include "src/core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rewriter.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+GraphDef MisconfiguredGraph() {
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("expensive", n, "slow");
+  n = b.ShuffleAndRepeat("sr", n, 16);
+  n = b.Batch("batch", n, 5);
+  return std::move(b.Build(n)).value();
+}
+
+OptimizeOptions MakeOptions(PipelineTestEnv& env) {
+  OptimizeOptions options;
+  options.machine = MachineSpec::SetupA();
+  options.machine.num_cores = 8;
+  options.pipeline_options = env.Options();
+  options.trace_seconds = 0.25;
+  options.enable_cache = false;  // isolate the parallelism pass
+  return options;
+}
+
+double MeasureRate(PipelineTestEnv& env, const GraphDef& graph,
+                   double seconds = 0.4) {
+  auto pipeline = std::move(Pipeline::Create(graph, env.Options())).value();
+  RunOptions ropts;
+  ropts.max_seconds = seconds;
+  const RunResult result = RunPipeline(*pipeline, ropts);
+  pipeline->Cancel();
+  return result.batches_per_second;
+}
+
+TEST(OptimizerRegressionTest, OptimizedGraphNeverMeasuresSlowerThanInput) {
+  PipelineTestEnv env(4, 200, 64);
+  PlumberOptimizer optimizer(MakeOptions(env));
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  double naive_rate = 0, tuned_rate = 0;
+  EXPECT_TRUE(testing_util::EventuallyTrue([&] {
+    naive_rate = MeasureRate(env, MisconfiguredGraph());
+    tuned_rate = MeasureRate(env, result->graph);
+    return tuned_rate > naive_rate;
+  })) << "Optimize() returned a slower graph: tuned=" << tuned_rate
+      << " naive=" << naive_rate;
+}
+
+TEST(OptimizerRegressionTest, ParallelismPlanStaysWithinCoreBudget) {
+  PipelineTestEnv env(4, 200, 64);
+  PlumberOptimizer optimizer(MakeOptions(env));
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  int total = 0;
+  for (const auto& [node, parallelism] : result->plan.parallelism) {
+    total += parallelism;
+  }
+  // ceil(theta) rounding used to hand out up to one extra core per
+  // stage beyond the LP's own budget.
+  EXPECT_LE(total, 8);
+  // The pass still parallelizes the bottleneck aggressively.
+  EXPECT_GT(*rewriter::GetParallelism(result->graph, "expensive"), 2);
+}
+
+}  // namespace
+}  // namespace plumber
