@@ -30,12 +30,8 @@ struct PassConfig {
 
 double MeasureConfig(const Workload& workload, const MachineSpec& machine,
                      const PassConfig& config) {
-  StorageDevice device(workload.storage);
-  WorkloadEnv env(&device);
+  Session session = MakeWorkloadSession(machine, workload.storage);
   OptimizeOptions options;
-  options.machine = machine;
-  options.pipeline_options =
-      env.MakePipelineOptions(machine.cpu_scale, machine.memory_bytes);
   options.trace_seconds = 0.25;
   options.evaluate_warmup_seconds = 0.8;
   options.enable_parallelism = config.parallelism;
@@ -43,15 +39,13 @@ double MeasureConfig(const Workload& workload, const MachineSpec& machine,
   options.enable_cache = config.cache;
   options.enumerate_caches = config.enumerate_caches;
   options.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
-  PlumberOptimizer optimizer(options);
-  auto result = optimizer.Optimize(NaiveConfiguration(workload.graph));
+  auto result = session.FromGraph(NaiveConfiguration(workload.graph))
+                    .Optimize(options);
   if (!result.ok()) return 0;
 
-  StorageDevice fresh_device(workload.storage);
-  WorkloadEnv fresh_env(&fresh_device);
-  return MeasureRate(fresh_env, result->graph, machine, 0.8,
-                     workload.ModelStepSeconds(), machine.memory_bytes,
-                     1.6);
+  Session fresh = MakeWorkloadSession(machine, workload.storage);
+  return MeasureRate(fresh, std::move(result->Graph()).value(), 0.8,
+                     workload.ModelStepSeconds(), 1.6);
 }
 
 void RunWorkloadAblation(const std::string& name, int cores) {

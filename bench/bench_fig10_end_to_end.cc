@@ -37,13 +37,11 @@ Row RunWorkload(const std::string& name, int num_cores) {
   // paper evaluates over 5 epochs, so cache fill is amortized away).
   const double kMeasure = 0.8, kWarmup = 1.6;
 
-  // Each policy gets a fresh device + filesystem (fresh page of I/O
-  // accounting, cold caches).
+  // Each policy gets a fresh session (fresh device + filesystem: fresh
+  // page of I/O accounting, cold caches).
   auto measure = [&](const GraphDef& graph) {
-    StorageDevice device(workload.storage);
-    WorkloadEnv env(&device);
-    return MeasureRate(env, graph, machine, kMeasure, step,
-                       machine.memory_bytes, kWarmup);
+    Session session = MakeWorkloadSession(machine, workload.storage);
+    return MeasureRate(session, graph, kMeasure, step, kWarmup);
   };
 
   row.naive = measure(NaiveConfiguration(workload.graph));
@@ -52,18 +50,11 @@ Row RunWorkload(const std::string& name, int num_cores) {
 
   {
     // AUTOTUNE: trace the naive configuration, hill-climb, measure.
-    StorageDevice device(workload.storage);
-    WorkloadEnv env(&device);
-    auto pipeline = std::move(Pipeline::Create(
-                                  NaiveConfiguration(workload.graph),
-                                  env.MakePipelineOptions(machine.cpu_scale)))
-                        .value();
-    TraceOptions topts;
-    topts.trace_seconds = 0.25;
-    topts.machine = machine;
-    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-    pipeline->Cancel();
-    auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+    Session session = MakeWorkloadSession(machine, workload.storage);
+    auto model = std::move(session.FromGraph(
+                                      NaiveConfiguration(workload.graph))
+                               .Diagnose(0.25))
+                     .value();
     AutotuneOptions aopts;
     aopts.max_parallelism = machine.num_cores;
     auto autotuned =
@@ -75,21 +66,16 @@ Row RunWorkload(const std::string& name, int num_cores) {
   {
     // Plumber: full optimizer (LP + prefetch + cache) over the
     // pick_best variants.
-    StorageDevice device(workload.storage);
-    WorkloadEnv env(&device);
+    Session session = MakeWorkloadSession(machine, workload.storage);
     OptimizeOptions oopts;
-    oopts.machine = machine;
-    oopts.pipeline_options = env.MakePipelineOptions(machine.cpu_scale,
-                                                     machine.memory_bytes);
     oopts.trace_seconds = 0.25;
     oopts.evaluate_warmup_seconds = 0.8;
     oopts.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
-    PlumberOptimizer optimizer(oopts);
     auto result = workload.variants.size() > 1
-                      ? optimizer.PickBest(workload.variants)
-                      : optimizer.Optimize(workload.graph);
+                      ? session.OptimizeBest(workload.variants, oopts)
+                      : session.FromGraph(workload.graph).Optimize(oopts);
     if (result.ok()) {
-      row.plumber = measure(result->graph);
+      row.plumber = measure(std::move(result->Graph()).value());
       row.cache_node = result->cache.feasible ? result->cache.node : "-";
     }
   }

@@ -14,7 +14,7 @@ namespace {
 
 void RunSetup(const MachineSpec& machine, int steps, int reps) {
   PrintHeader("Figure 6: ResNet sequential tuning (" + machine.name + ")");
-  WorkloadEnv env;
+  Session session = MakeWorkloadSession(machine);
   auto workload = std::move(MakeWorkload("resnet18")).value();
   const GraphDef naive = NaiveConfiguration(workload.graph);
 
@@ -26,24 +26,13 @@ void RunSetup(const MachineSpec& machine, int steps, int reps) {
   // Reference lines: heuristic and autotune final configurations.
   const GraphDef heuristic =
       HeuristicConfiguration(workload.graph, machine.num_cores);
-  const double heuristic_rate =
-      MeasureRate(env, heuristic, machine, 0.4);
+  const double heuristic_rate = MeasureRate(session, heuristic, 0.4);
   // AUTOTUNE needs a trace of the naive pipeline first.
-  auto pipeline =
-      std::move(Pipeline::Create(naive, env.MakePipelineOptions(
-                                            machine.cpu_scale)))
-          .value();
-  TraceOptions topts;
-  topts.trace_seconds = 0.2;
-  topts.machine = machine;
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  pipeline->Cancel();
-  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  auto model = std::move(session.FromGraph(naive).Diagnose(0.2)).value();
   AutotuneOptions aopts;
   aopts.max_parallelism = machine.num_cores;
   auto autotuned = std::move(AutotuneConfiguration(naive, model, aopts)).value();
-  const double autotune_rate =
-      MeasureRate(env, autotuned.graph, machine, 0.4);
+  const double autotune_rate = MeasureRate(session, autotuned.graph, 0.4);
 
   // Step series, averaged over reps.
   std::vector<RunningStat> plumber_stats(steps), random_stats(steps);
@@ -51,13 +40,13 @@ void RunSetup(const MachineSpec& machine, int steps, int reps) {
     options.seed = 100 + rep;
     auto plumber_tuner = MakePlumberStepTuner();
     const auto plumber_series =
-        RunStepTuning(env, naive, plumber_tuner.get(), options);
+        RunStepTuning(session, naive, plumber_tuner.get(), options);
     for (const auto& p : plumber_series) {
       plumber_stats[p.step].Add(p.observed_rate);
     }
     auto random_tuner = MakeRandomWalkTuner();
     const auto random_series =
-        RunStepTuning(env, naive, random_tuner.get(), options);
+        RunStepTuning(session, naive, random_tuner.get(), options);
     for (const auto& p : random_series) {
       random_stats[p.step].Add(p.observed_rate);
     }

@@ -78,7 +78,41 @@ struct StepSeriesOptions {
 
 // Runs the sequential-tuning protocol of §5.1: start from the given
 // configuration; each step, measure + trace the current pipeline, record
-// predictions, then let the tuner pick the next configuration.
+// predictions, then let the tuner pick the next configuration. The
+// session's machine is the machine being tuned for.
+inline std::vector<StepPoint> RunStepTuning(Session& session, GraphDef graph,
+                                            StepTuner* tuner,
+                                            const StepSeriesOptions& options) {
+  std::vector<StepPoint> series;
+  Rng rng(options.seed);
+  for (int step = 0; step < options.steps; ++step) {
+    auto model_or =
+        session.FromGraph(graph).Diagnose(options.measure_seconds);
+    if (!model_or.ok()) break;
+    const PipelineModel& model = *model_or;
+
+    StepPoint point;
+    point.step = step;
+    point.observed_rate = model.observed_rate();
+    point.lp_predicted = PlanAllocation(model).predicted_rate;
+    point.local_predicted = LocalEstimateMaxRate(model);
+    point.autotune_predicted = AutotuneEstimateRate(model);
+    series.push_back(point);
+
+    if (tuner != nullptr) {
+      TunerContext ctx;
+      ctx.model = &model;
+      ctx.machine = session.machine();
+      ctx.rng = &rng;
+      auto next = tuner->Step(graph, ctx);
+      if (!next.ok()) break;
+      graph = std::move(next).value();
+    }
+  }
+  return series;
+}
+
+// Pre-Session variant kept for benches still on the hand-wired layer.
 inline std::vector<StepPoint> RunStepTuning(WorkloadEnv& env,
                                             GraphDef graph, StepTuner* tuner,
                                             const StepSeriesOptions& options) {
@@ -119,9 +153,26 @@ inline std::vector<StepPoint> RunStepTuning(WorkloadEnv& env,
   return series;
 }
 
-// Measures the steady-state rate of a fixed configuration. The warmup
-// window runs on the same iterator tree (so caches fill) but is
-// excluded from the measurement.
+// Measures the steady-state rate of a fixed configuration through the
+// unified API. The warmup window runs on the same iterator tree (so
+// caches fill) but is excluded from the measurement.
+inline double MeasureRate(Session& session, const GraphDef& graph,
+                          double seconds, double model_step_seconds = 0,
+                          double warmup_seconds = 0) {
+  RunOptions window;
+  window.max_seconds = seconds;
+  window.model_step_seconds = model_step_seconds;
+  window.warmup_seconds = warmup_seconds;
+  const auto report = session.FromGraph(graph).Run(window);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 report.status().ToString().c_str());
+    return 0;
+  }
+  return report->batches_per_second;
+}
+
+// Pre-Session variant kept for benches still on the hand-wired layer.
 inline double MeasureRate(WorkloadEnv& env, const GraphDef& graph,
                           const MachineSpec& machine, double seconds,
                           double model_step_seconds = 0,

@@ -29,21 +29,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   Workload workload = std::move(workload_or).value();
-  StorageDevice device(workload.storage);
-  WorkloadEnv env(&device);
-  MachineSpec machine = MachineSpec::SetupA();
+  Session session =
+      MakeWorkloadSession(MachineSpec::SetupA(), workload.storage);
 
   // 1. Trace the naive pipeline.
-  auto pipeline = std::move(Pipeline::Create(
-                                NaiveConfiguration(workload.graph),
-                                env.MakePipelineOptions(machine.cpu_scale)))
-                      .value();
-  TraceOptions topts;
-  topts.trace_seconds = 0.5;
-  topts.machine = machine;
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  pipeline->Cancel();
-  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  auto model_or =
+      session.FromGraph(NaiveConfiguration(workload.graph)).Diagnose(0.5);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "diagnose failed: %s\n",
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineModel& model = *model_or;
 
   // 2. Roofline report.
   const RooflineReport roofline =

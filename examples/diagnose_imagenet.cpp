@@ -11,20 +11,16 @@
 using namespace plumber;
 
 int main() {
-  WorkloadEnv env;
   auto workload = std::move(MakeWorkload("resnet18")).value();
   const MachineSpec machine = MachineSpec::SetupA();
+  Session session = MakeWorkloadSession(machine);
 
-  auto pipeline = std::move(Pipeline::Create(
-                                workload.graph,
-                                env.MakePipelineOptions(machine.cpu_scale)))
-                      .value();
-  TraceOptions topts;
-  topts.trace_seconds = 0.5;
-  topts.machine = machine;
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  pipeline->Cancel();
-  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  auto model_or = session.FromGraph(workload.graph).Diagnose(0.5);
+  if (!model_or.ok()) {
+    std::printf("diagnose failed: %s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineModel& model = *model_or;
 
   std::printf("observed rate: %.2f minibatches/s over %.2fs\n\n",
               model.observed_rate(), model.wall_seconds());

@@ -15,35 +15,30 @@ using namespace plumber;
 int main() {
   // A throttled "cloud" store: 8 MB/s aggregate, 1 MB/s per stream —
   // single-stream readers leave 7/8 of the bandwidth on the table.
-  StorageDevice device(DeviceSpec::CloudStorage(8e6, 1e6));
-  WorkloadEnv env(&device);
   auto workload = std::move(MakeWorkload("resnet18")).value();
-  const MachineSpec machine = MachineSpec::SetupA();
+  Session session = MakeWorkloadSession(MachineSpec::SetupA(),
+                                        DeviceSpec::CloudStorage(8e6, 1e6));
 
   // 1. Profile the training directory like fio would.
   IoProfileOptions popts;
   popts.parallelism_levels = {1, 2, 4, 8, 12};
   popts.seconds_per_probe = 0.15;
   const IoProfileResult profile =
-      ProfileReadBandwidth(&env.fs, workload.dataset_prefix, popts);
+      ProfileReadBandwidth(&session.fs(), workload.dataset_prefix, popts);
   std::printf("parallelism -> bandwidth curve: %s\n",
               profile.parallelism_to_bandwidth.ToString().c_str());
   std::printf("max bandwidth %.1f MB/s, saturating parallelism ~%.0f\n\n",
               profile.max_bandwidth / 1e6, profile.min_parallelism_for_max);
-  device.ResetCounters();
-  env.fs.ClearReadLog();
+  session.storage()->ResetCounters();
+  session.fs().ClearReadLog();
 
   // 2. Trace the pipeline and solve the LP with the disk constraint.
-  auto pipeline = std::move(Pipeline::Create(
-                                workload.graph,
-                                env.MakePipelineOptions(machine.cpu_scale)))
-                      .value();
-  TraceOptions topts;
-  topts.trace_seconds = 0.4;
-  topts.machine = machine;
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  pipeline->Cancel();
-  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+  auto model_or = session.FromGraph(workload.graph).Diagnose(0.4);
+  if (!model_or.ok()) {
+    std::printf("diagnose failed: %s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineModel& model = *model_or;
 
   LpPlanOptions lp;
   lp.disk_bandwidth = profile.max_bandwidth;

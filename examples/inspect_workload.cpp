@@ -30,24 +30,16 @@ namespace {
 
 double Measure(const Workload& workload, const GraphDef& graph,
                const MachineSpec& machine, const char* label) {
-  StorageDevice device(workload.storage);
-  WorkloadEnv env(&device);
-  auto pipeline_or = Pipeline::Create(
-      graph, env.MakePipelineOptions(machine.cpu_scale, machine.memory_bytes));
-  if (!pipeline_or.ok()) return 0;
-  auto iterator = std::move((*pipeline_or)->MakeIterator()).value();
-  RunOptions warmup;
-  warmup.max_seconds = 1.2;
-  warmup.model_step_seconds = workload.ModelStepSeconds();
-  RunIterator(iterator.get(), warmup);
-  RunOptions ropts;
-  ropts.max_seconds = 0.8;
-  ropts.model_step_seconds = workload.ModelStepSeconds();
-  const RunResult result = RunIterator(iterator.get(), ropts);
-  (*pipeline_or)->Cancel();
-  std::printf("  %-24s %8.1f minibatches/s\n", label,
-              result.batches_per_second);
-  return result.batches_per_second;
+  // Fresh session per measurement: fresh I/O accounting, cold caches.
+  Session session = MakeWorkloadSession(machine, workload.storage);
+  RunOptions window;
+  window.warmup_seconds = 1.2;
+  window.max_seconds = 0.8;
+  window.model_step_seconds = workload.ModelStepSeconds();
+  const auto report = session.FromGraph(graph).Run(window);
+  const double rate = report.ok() ? report->batches_per_second : 0;
+  std::printf("  %-24s %8.1f minibatches/s\n", label, rate);
+  return rate;
 }
 
 void PrintTunedNodes(const GraphDef& graph) {
@@ -85,17 +77,13 @@ int main(int argc, char** argv) {
 
   // Optimize every pick_best variant and show the decisions.
   for (size_t v = 0; v < workload.variants.size(); ++v) {
-    StorageDevice device(workload.storage);
-    WorkloadEnv env(&device);
+    Session session = MakeWorkloadSession(machine, workload.storage);
     OptimizeOptions options;
-    options.machine = machine;
-    options.pipeline_options =
-        env.MakePipelineOptions(machine.cpu_scale, machine.memory_bytes);
     options.trace_seconds = 0.25;
     options.evaluate_warmup_seconds = 0.8;
     options.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
-    PlumberOptimizer optimizer(options);
-    auto result = optimizer.Optimize(workload.variants[v]);
+    auto result =
+        session.FromGraph(workload.variants[v]).Optimize(options);
     if (!result.ok()) {
       std::printf("variant %zu: optimization failed: %s\n", v,
                   result.status().ToString().c_str());
@@ -105,8 +93,9 @@ int main(int argc, char** argv) {
                 result->plan.predicted_rate,
                 result->cache.feasible ? result->cache.node.c_str() : "none");
     for (const auto& line : result->log) std::printf("    %s\n", line.c_str());
-    PrintTunedNodes(result->graph);
-    Measure(workload, result->graph, machine,
+    const GraphDef tuned = std::move(result->Graph()).value();
+    PrintTunedNodes(tuned);
+    Measure(workload, tuned, machine,
             ("plumber variant " + std::to_string(v)).c_str());
   }
 
@@ -116,18 +105,13 @@ int main(int argc, char** argv) {
 
   // Traced per-node breakdown of the heuristic configuration: the raw
   // statistics Plumber's analysis layer consumes.
-  StorageDevice device(workload.storage);
-  WorkloadEnv env(&device);
-  auto pipeline = std::move(Pipeline::Create(
-                                HeuristicConfiguration(workload.graph,
-                                                       machine.num_cores),
-                                env.MakePipelineOptions(machine.cpu_scale)))
-                      .value();
-  TraceOptions topts;
-  topts.trace_seconds = 0.5;
-  topts.machine = machine;
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  pipeline->Cancel();
+  Session session = MakeWorkloadSession(machine, workload.storage);
+  const TraceSnapshot trace =
+      std::move(session
+                    .FromGraph(HeuristicConfiguration(workload.graph,
+                                                      machine.num_cores))
+                    .Trace(0.5))
+          .value();
   std::printf("heuristic trace: %.1f minibatches/s over %.2fs\n",
               trace.observed_rate, trace.wall_seconds);
   for (const auto& st : trace.stats) {

@@ -1,10 +1,11 @@
 // Quickstart: build a small input pipeline, run it, let Plumber find
-// and remove the bottleneck — the library's "one line of code" flow.
+// and remove the bottleneck — the library's "one line of code" flow,
+// written entirely against the unified Session/Flow API.
 //
-//   1. Declare a pipeline program with GraphBuilder (files -> decode ->
-//      shuffle+repeat -> batch).
-//   2. Run it misconfigured (parallelism 1) and measure throughput.
-//   3. Hand it to PlumberOptimizer and run the rewritten program.
+//   1. Describe the environment on a Session (data files + UDFs).
+//   2. Declare the pipeline fluently (files -> decode -> shuffle+repeat
+//      -> crop -> batch) and measure it misconfigured (parallelism 1).
+//   3. flow.Optimize() — one call — and measure the rewritten program.
 #include <cstdio>
 
 #include "src/core/plumber.h"
@@ -12,84 +13,72 @@
 using namespace plumber;
 
 int main() {
-  // -- Synthetic training data: 8 record files of 200 x 1KB records.
-  SimFilesystem fs;
-  for (int f = 0; f < 8; ++f) {
-    std::vector<uint64_t> sizes(200, 1024);
-    if (!fs.CreateRecordFile("train/part-" + std::to_string(f), f + 1,
-                             std::move(sizes))
-             .ok()) {
-      return 1;
-    }
-  }
-
-  // -- UDFs: an expensive decode (6x amplification) and a cheap crop.
-  UdfRegistry udfs;
+  // -- Environment: 8 record files of 200 x 1KB records, an expensive
+  // decode (6x amplification), and a cheap random crop.
+  Session session;
+  session.machine().num_cores = 8;
+  session.machine().memory_bytes = 64 << 20;
+  if (!session.CreateRecordFiles("train/part-", 8, 200, 1024).ok()) return 1;
   UdfSpec decode;
   decode.name = "decode";
   decode.cost_ns_per_element = 400e3;  // 400us per record
   decode.size_ratio = 6.0;
-  (void)udfs.Register(decode);
+  (void)session.RegisterUdf(decode);
   UdfSpec crop;
   crop.name = "crop";
   crop.cost_ns_per_element = 40e3;
   crop.size_ratio = 0.5;
   crop.accesses_random_seed = true;  // random augmentation: uncacheable
-  (void)udfs.Register(crop);
+  (void)session.RegisterUdf(crop);
 
   // -- Declare the pipeline (Figure 1 of the paper, in C++).
-  GraphBuilder b;
-  auto n = b.Interleave("interleave", b.FileList("files", "train/"), 4, 1);
-  n = b.Map("decode", n, "decode");
-  n = b.ShuffleAndRepeat("shuffle_repeat", n, 128);
-  n = b.Map("crop", n, "crop");
-  n = b.Batch("batch", n, 16);
-  GraphDef graph = std::move(b.Build(n)).value();
-
-  PipelineOptions popts;
-  popts.fs = &fs;
-  popts.udfs = &udfs;
+  const Flow flow = session.Files("train/")
+                        .Interleave(4)
+                        .Map("decode").Named("decode")
+                        .ShuffleAndRepeat(128)
+                        .Map("crop").Named("crop")
+                        .Batch(16);
 
   // -- Run the misconfigured pipeline.
-  RunOptions ropts;
-  ropts.max_seconds = 0.5;
-  auto naive = std::move(Pipeline::Create(graph, popts)).value();
-  const RunResult before = RunPipeline(*naive, ropts);
-  naive->Cancel();
-  std::printf("misconfigured: %.1f minibatches/s (next latency %.2f ms)\n",
-              before.batches_per_second,
-              before.mean_next_latency_seconds * 1e3);
-
-  // -- One call to Plumber.
-  OptimizeOptions oopts;
-  oopts.machine = MachineSpec::SetupA();
-  oopts.machine.num_cores = 8;
-  oopts.machine.memory_bytes = 64 << 20;
-  oopts.pipeline_options = popts;
-  PlumberOptimizer optimizer(oopts);
-  auto result = optimizer.Optimize(graph);
-  if (!result.ok()) {
-    std::printf("optimize failed: %s\n", result.status().ToString().c_str());
+  RunOptions window;
+  window.max_seconds = 0.5;
+  const auto before = flow.Run(window);
+  if (!before.ok()) {
+    std::printf("run failed: %s\n", before.status().ToString().c_str());
     return 1;
   }
-  for (const auto& line : result->log) std::printf("  plumber: %s\n",
-                                                   line.c_str());
+  std::printf("misconfigured: %.1f minibatches/s (next latency %.2f ms)\n",
+              before->batches_per_second,
+              before->mean_next_latency_seconds * 1e3);
+
+  // -- One call to Plumber.
+  const auto optimized = flow.Optimize();
+  if (!optimized.ok()) {
+    std::printf("optimize failed: %s\n",
+                optimized.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& line : optimized->log) {
+    std::printf("  plumber: %s\n", line.c_str());
+  }
 
   // -- Run the rewritten program (same signature, faster). Warm up one
   // window first so the injected cache reaches steady state.
-  auto tuned = std::move(Pipeline::Create(result->graph, popts)).value();
-  auto iterator = std::move(tuned->MakeIterator()).value();
-  RunOptions warmup;
-  warmup.max_seconds = 0.5;
-  RunIterator(iterator.get(), warmup);
-  const RunResult after = RunIterator(iterator.get(), ropts);
-  tuned->Cancel();
+  RunOptions warm = window;
+  warm.warmup_seconds = 0.5;
+  const auto after = optimized->Run(warm);
+  if (!after.ok()) {
+    std::printf("run failed: %s\n", after.status().ToString().c_str());
+    return 1;
+  }
   std::printf("optimized:     %.1f minibatches/s (%.1fx speedup)\n",
-              after.batches_per_second,
-              before.batches_per_second > 0
-                  ? after.batches_per_second / before.batches_per_second
+              after->batches_per_second,
+              before->batches_per_second > 0
+                  ? after->batches_per_second / before->batches_per_second
                   : 0.0);
   std::printf("LP predicted upper bound: %.1f minibatches/s\n",
-              result->plan.predicted_rate);
-  return 0;
+              optimized->plan.predicted_rate);
+  // The optimized program must beat the misconfigured one (this example
+  // doubles as a CI smoke test for the unified API).
+  return after->batches_per_second > before->batches_per_second ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 // Compares the four tuning policies on one workload: Naive, HEURISTIC,
 // AUTOTUNE (M/M/1/k + hill climbing), and Plumber (LP + prefetch +
-// cache). Usage: tuner_showdown [workload] (default multibox_ssd).
+// cache), all through the unified Session/Flow API.
+// Usage: tuner_showdown [workload] (default multibox_ssd).
 #include <cstdio>
 #include <string>
 
@@ -14,21 +15,13 @@ using namespace plumber;
 
 namespace {
 
-double Measure(WorkloadEnv& env, const GraphDef& graph,
-               const MachineSpec& machine, uint64_t memory = 0) {
-  PipelineOptions popts = env.MakePipelineOptions(machine.cpu_scale, memory);
-  auto pipeline_or = Pipeline::Create(graph, popts);
-  if (!pipeline_or.ok()) return 0;
-  RunOptions ropts;
-  ropts.max_seconds = 0.5;
+double Measure(Session& session, const GraphDef& graph) {
+  RunOptions window;
+  window.max_seconds = 0.5;
   // Warm up one stretch first so any cache is filled.
-  auto iterator = std::move((*pipeline_or)->MakeIterator()).value();
-  RunOptions warm;
-  warm.max_seconds = 0.5;
-  RunIterator(iterator.get(), warm);
-  const RunResult result = RunIterator(iterator.get(), ropts);
-  (*pipeline_or)->Cancel();
-  return result.batches_per_second;
+  window.warmup_seconds = 0.5;
+  const auto report = session.FromGraph(graph).Run(window);
+  return report.ok() ? report->batches_per_second : 0;
 }
 
 }  // namespace
@@ -44,58 +37,44 @@ int main(int argc, char** argv) {
   }
   auto workload = std::move(workload_or).value();
   MachineSpec machine = MachineSpec::SetupA();
+  machine.memory_bytes = 32 << 20;  // generous scaled budget
+  Session session = MakeWorkloadSession(machine);
 
-  WorkloadEnv env;
   Table table({"policy", "minibatches/s", "speedup vs naive"});
 
-  const double naive =
-      Measure(env, NaiveConfiguration(workload.graph), machine);
+  const double naive = Measure(session, NaiveConfiguration(workload.graph));
   table.AddRow({"naive (parallelism=1)", Table::Num(naive, 1), "1.0"});
 
   const double heuristic = Measure(
-      env, HeuristicConfiguration(workload.graph, machine.num_cores),
-      machine);
+      session, HeuristicConfiguration(workload.graph, machine.num_cores));
   table.AddRow({"heuristic (all cores)", Table::Num(heuristic, 1),
                 Table::Num(heuristic / naive, 1)});
 
   {
-    auto pipeline = std::move(Pipeline::Create(
-                                  NaiveConfiguration(workload.graph),
-                                  env.MakePipelineOptions(machine.cpu_scale)))
-                        .value();
-    TraceOptions topts;
-    topts.trace_seconds = 0.25;
-    topts.machine = machine;
-    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-    pipeline->Cancel();
-    auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
-    AutotuneOptions aopts;
-    aopts.max_parallelism = machine.num_cores;
-    auto autotuned =
-        std::move(AutotuneConfiguration(workload.graph, model, aopts))
-            .value();
-    const double rate = Measure(env, autotuned.graph, machine);
-    table.AddRow({"autotune (M/M/1/k)", Table::Num(rate, 1),
-                  Table::Num(rate / naive, 1)});
+    auto model_or =
+        session.FromGraph(NaiveConfiguration(workload.graph)).Diagnose(0.25);
+    if (model_or.ok()) {
+      AutotuneOptions aopts;
+      aopts.max_parallelism = machine.num_cores;
+      auto autotuned =
+          std::move(AutotuneConfiguration(workload.graph, *model_or, aopts))
+              .value();
+      const double rate = Measure(session, autotuned.graph);
+      table.AddRow({"autotune (M/M/1/k)", Table::Num(rate, 1),
+                    Table::Num(rate / naive, 1)});
+    }
   }
 
   {
-    OptimizeOptions oopts;
-    oopts.machine = machine;
-    oopts.machine.memory_bytes = 32 << 20;  // generous scaled budget
-    oopts.pipeline_options = env.MakePipelineOptions(
-        machine.cpu_scale, oopts.machine.memory_bytes);
-    PlumberOptimizer optimizer(oopts);
-    auto result = optimizer.Optimize(workload.graph);
+    auto result = session.FromGraph(workload.graph).Optimize();
     if (result.ok()) {
-      const double rate = Measure(env, result->graph, machine,
-                                  oopts.machine.memory_bytes);
+      auto graph = result->Graph();
+      const double rate = graph.ok() ? Measure(session, *graph) : 0;
       std::string label = "plumber (LP+prefetch+cache)";
       if (result->cache.feasible) {
         label += " [cache@" + result->cache.node + "]";
       }
-      table.AddRow({label, Table::Num(rate, 1),
-                    Table::Num(rate / naive, 1)});
+      table.AddRow({label, Table::Num(rate, 1), Table::Num(rate / naive, 1)});
     }
   }
 

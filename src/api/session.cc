@@ -1,0 +1,107 @@
+#include "src/api/session.h"
+
+#include "src/pipeline/ops.h"
+
+namespace plumber {
+namespace internal {
+
+PipelineOptions MakePipelineOptions(SessionState& state) {
+  const SessionOptions& so = state.options;
+  PipelineOptions popts;
+  popts.fs = &state.fs;
+  popts.udfs = &state.udfs;
+  popts.cpu_scale = so.machine.cpu_scale;
+  popts.work_model = so.work_model;
+  popts.seed = so.seed;
+  popts.tracing_enabled = so.tracing_enabled;
+  popts.memory_budget_bytes = so.memory_budget_bytes > 0
+                                  ? so.memory_budget_bytes
+                                  : so.machine.memory_bytes;
+  return popts;
+}
+
+void ApplyEnvironment(SessionState& state, OptimizeOptions* options) {
+  const SessionOptions& so = state.options;
+  options->machine = so.machine;
+  // The memory cap bounds the planning budget too, so the optimizer
+  // never plans a cache the runtime budget would reject.
+  if (so.memory_budget_bytes > 0) {
+    options->machine.memory_bytes = so.memory_budget_bytes;
+  }
+  options->fs = &state.fs;
+  options->udfs = &state.udfs;
+  options->seed = so.seed;
+  options->work_model = so.work_model;
+}
+
+}  // namespace internal
+
+Session::Session(SessionOptions options)
+    : state_(std::make_shared<internal::SessionState>()) {
+  state_->options = std::move(options);
+}
+
+Status Session::CreateRecordFiles(const std::string& prefix, int num_files,
+                                  int records_per_file,
+                                  uint64_t bytes_per_record) {
+  if (num_files <= 0 || records_per_file <= 0) {
+    return InvalidArgumentError("CreateRecordFiles: counts must be positive");
+  }
+  for (int f = 0; f < num_files; ++f) {
+    std::vector<uint64_t> sizes(records_per_file, bytes_per_record);
+    RETURN_IF_ERROR(state_->fs.CreateRecordFile(prefix + std::to_string(f),
+                                                state_->options.seed + f,
+                                                std::move(sizes)));
+  }
+  return OkStatus();
+}
+
+Status Session::RegisterUdf(UdfSpec spec) {
+  return state_->udfs.Register(std::move(spec));
+}
+
+void Session::AttachStorage(const DeviceSpec& spec) {
+  state_->storage = std::make_unique<StorageDevice>(spec);
+  state_->fs.set_device(state_->storage.get());
+}
+
+Flow Session::Files(const std::string& prefix) {
+  NodeDef def;
+  def.op = "file_list";
+  def.attrs[kAttrPrefix] = AttrValue(prefix);
+  return Flow(state_, GraphDef(), "").Append(std::move(def));
+}
+
+Flow Session::Range(int64_t count) {
+  NodeDef def;
+  def.op = "range";
+  def.attrs[kAttrCount] = AttrValue(count);
+  return Flow(state_, GraphDef(), "").Append(std::move(def));
+}
+
+Flow Session::FromGraph(GraphDef graph) {
+  const std::string tip = graph.output();
+  Flow flow(state_, std::move(graph), tip);
+  if (tip.empty()) {
+    flow.status_ = InvalidArgumentError("FromGraph: graph has no output set");
+  }
+  return flow;
+}
+
+StatusOr<OptimizedFlow> Session::OptimizeBest(
+    const std::vector<GraphDef>& variants, OptimizeOptions options) {
+  internal::ApplyEnvironment(*state_, &options);
+  PlumberOptimizer optimizer(std::move(options));
+  ASSIGN_OR_RETURN(OptimizeResult result, optimizer.PickBest(variants));
+  OptimizedFlow out;
+  out.flow = Flow(state_, result.graph, result.graph.output());
+  out.plan = std::move(result.plan);
+  out.cache = std::move(result.cache);
+  out.prefetch = std::move(result.prefetch);
+  out.traced_rate = result.traced_rate;
+  out.log = std::move(result.log);
+  out.picked_variant = result.picked_variant;
+  return out;
+}
+
+}  // namespace plumber

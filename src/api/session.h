@@ -1,0 +1,124 @@
+// Session: the single environment object of the unified Plumber API.
+//
+// A Session owns everything a pipeline needs to exist — the simulated
+// filesystem (optionally backed by an owned StorageDevice), the UDF
+// registry, the MachineSpec being modeled, the seed, and the CPU work
+// model — and is the one source of truth for all of them: Flow::Run and
+// Flow::Optimize derive their PipelineOptions/OptimizeOptions from the
+// Session, so cpu_scale/seed/memory can no longer be wired twice and
+// drift (formerly: MachineSpec vs PipelineOptions vs OptimizeOptions).
+//
+//   Session session;
+//   session.machine().num_cores = 8;
+//   session.CreateRecordFiles("train/part-", 8, 200, 1024);
+//   session.RegisterUdf(decode_spec);
+//   Flow flow = session.Files("train/").Interleave(4).Map("decode")
+//                   .ShuffleAndRepeat(128).Batch(32);
+//
+// The GraphBuilder + PipelineOptions + Pipeline::Create layer remains
+// public underneath for tooling that needs manual control; FromGraph()
+// bridges a hand-built GraphDef into the Session world.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/flow.h"
+#include "src/core/machine.h"
+
+namespace plumber {
+
+struct SessionOptions {
+  MachineSpec machine = MachineSpec::SetupA();
+  uint64_t seed = 42;
+  CpuWorkModel work_model = CpuWorkModel::kTimed;
+  bool tracing_enabled = true;
+  // Memory cap override: bounds both the runtime cache budget of
+  // instantiated pipelines and the optimizer's planning budget. 0
+  // derives both from machine.memory_bytes.
+  uint64_t memory_budget_bytes = 0;
+};
+
+namespace internal {
+
+// The shared environment behind a Session. Flows hold a reference too,
+// so a Flow (and anything built from it) stays valid across Session
+// moves and even outlives its Session.
+struct SessionState {
+  SessionOptions options;
+  std::unique_ptr<StorageDevice> storage;
+  SimFilesystem fs;
+  UdfRegistry udfs;
+};
+
+// The only place the unified API turns session state into
+// PipelineOptions. (Non-const: pipelines mutate the filesystem.)
+PipelineOptions MakePipelineOptions(SessionState& state);
+// Overwrites the environment half of OptimizeOptions (machine, fs,
+// udfs, seed, work model, memory cap) from the session state.
+void ApplyEnvironment(SessionState& state, OptimizeOptions* options);
+
+}  // namespace internal
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  // Sessions are movable handles to their (shared) environment; copy is
+  // disabled to keep ownership explicit. Flows created earlier remain
+  // valid after a move.
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // -- Environment setup --------------------------------------------
+  // Registers `num_files` record files named "<prefix>0".."<prefix>N-1"
+  // of records_per_file x bytes_per_record each.
+  Status CreateRecordFiles(const std::string& prefix, int num_files,
+                           int records_per_file, uint64_t bytes_per_record);
+  Status RegisterUdf(UdfSpec spec);
+  // Attaches an owned storage device (bandwidth/latency modeling) to
+  // the filesystem. Replaces any previously attached device.
+  void AttachStorage(const DeviceSpec& spec);
+
+  // -- Flow sources --------------------------------------------------
+  // Files matching the prefix (a file_list node).
+  Flow Files(const std::string& prefix);
+  Flow Range(int64_t count);
+  // Wraps an existing GraphDef (low-level escape hatch); the flow's tip
+  // is the graph's output node.
+  Flow FromGraph(GraphDef graph);
+
+  // Optimizes each signature-equivalent variant and picks the fastest
+  // under a benchmark run (the paper's pick_best annotation, §B).
+  StatusOr<OptimizedFlow> OptimizeBest(const std::vector<GraphDef>& variants,
+                                       OptimizeOptions options = {});
+
+  // -- Accessors (the one source of truth) ---------------------------
+  SimFilesystem& fs() { return state_->fs; }
+  UdfRegistry& udfs() { return state_->udfs; }
+  const UdfRegistry& udfs() const { return state_->udfs; }
+  MachineSpec& machine() { return state_->options.machine; }
+  const MachineSpec& machine() const { return state_->options.machine; }
+  StorageDevice* storage() const { return state_->storage.get(); }
+  uint64_t seed() const { return state_->options.seed; }
+  void set_seed(uint64_t seed) { state_->options.seed = seed; }
+  CpuWorkModel work_model() const { return state_->options.work_model; }
+  void set_work_model(CpuWorkModel m) { state_->options.work_model = m; }
+
+  // Derives instantiation options from the session state.
+  PipelineOptions MakePipelineOptions() const {
+    return internal::MakePipelineOptions(*state_);
+  }
+  // Fills the environment half of OptimizeOptions from the session,
+  // keeping the tuning knobs.
+  void ApplyTo(OptimizeOptions* options) {
+    internal::ApplyEnvironment(*state_, options);
+  }
+
+ private:
+  std::shared_ptr<internal::SessionState> state_;
+};
+
+}  // namespace plumber

@@ -4,15 +4,24 @@
 
 namespace plumber {
 
+PipelineOptions OptimizeOptions::MakePipelineOptions() const {
+  PipelineOptions popts;
+  popts.fs = fs;
+  popts.udfs = udfs;
+  popts.cpu_scale = machine.cpu_scale;
+  popts.work_model = work_model;
+  popts.seed = seed;
+  popts.tracing_enabled = true;
+  popts.memory_budget_bytes = machine.memory_bytes;
+  return popts;
+}
+
 PlumberOptimizer::PlumberOptimizer(OptimizeOptions options)
     : options_(std::move(options)) {}
 
 StatusOr<std::unique_ptr<Pipeline>> PlumberOptimizer::MakePipeline(
     GraphDef graph) const {
-  PipelineOptions popts = options_.pipeline_options;
-  popts.cpu_scale = options_.machine.cpu_scale;
-  popts.tracing_enabled = true;
-  return Pipeline::Create(std::move(graph), popts);
+  return Pipeline::Create(std::move(graph), options_.MakePipelineOptions());
 }
 
 StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
@@ -36,7 +45,7 @@ StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
     pipeline->Cancel();
     ASSIGN_OR_RETURN(
         PipelineModel model,
-        PipelineModel::Build(trace, options_.pipeline_options.udfs));
+        PipelineModel::Build(trace, options_.udfs));
     result.traced_rate = model.observed_rate();
 
     // Pass A: LP parallelism.

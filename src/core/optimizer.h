@@ -21,9 +21,15 @@ namespace plumber {
 
 struct OptimizeOptions {
   MachineSpec machine;
-  // Everything needed to instantiate the pipeline (fs, udfs, seed).
-  // cpu_scale is taken from `machine`.
-  PipelineOptions pipeline_options;
+  // Execution environment. The optimizer derives the PipelineOptions
+  // for every pipeline it instantiates from these fields plus `machine`
+  // in exactly one place (MakePipelineOptions below), so cpu_scale,
+  // seed, and the memory budget cannot diverge between the traced
+  // pipeline and the planned machine.
+  SimFilesystem* fs = nullptr;
+  const UdfRegistry* udfs = nullptr;
+  uint64_t seed = 42;
+  CpuWorkModel work_model = CpuWorkModel::kTimed;
   double trace_seconds = 0.3;
   int passes = 2;
   bool enable_parallelism = true;
@@ -42,6 +48,10 @@ struct OptimizeOptions {
   // Cache-fill window before a steady-state re-trace of a pipeline
   // with an injected cache (§B truncation trick).
   double cache_warmup_seconds = 0.4;
+
+  // The single place instantiation options are derived from the
+  // machine + environment (tracing on, cache budget = machine memory).
+  PipelineOptions MakePipelineOptions() const;
 };
 
 struct OptimizeResult {

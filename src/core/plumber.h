@@ -1,15 +1,21 @@
 // Umbrella header: the Plumber public API.
 //
-// Typical use (the "one line of code" experience):
+// Typical use (the "one line of code" experience, via Session + Flow):
 //
-//   plumber::PlumberOptimizer optimizer(options);
-//   auto optimized = optimizer.Optimize(my_pipeline_graph);
-//   auto pipeline  = plumber::Pipeline::Create(optimized->graph, popts);
+//   plumber::Session session;
+//   auto flow = session.Files("train/").Interleave(4).Map("decode")
+//                   .ShuffleAndRepeat(128).Batch(32);
+//   auto optimized = flow.Optimize();       // trace -> LP -> rewrite
+//   auto report    = optimized->Run(opts);  // measured run
 //
-// For interactive debugging, CaptureTrace + PipelineModel expose the
+// Underneath sits the documented low-level layer — GraphBuilder,
+// PipelineOptions, Pipeline::Create, RunIterator — for tooling that
+// needs manual control; CaptureTrace + PipelineModel expose the
 // per-Dataset resource-accounted rates directly.
 #pragma once
 
+#include "src/api/flow.h"
+#include "src/api/session.h"
 #include "src/core/cache_tiers.h"
 #include "src/core/machine.h"
 #include "src/core/model.h"

@@ -1,16 +1,15 @@
 #include "src/pipeline/graph_builder.h"
 
-#include <cassert>
-
 #include "src/pipeline/ops.h"
 
 namespace plumber {
 
 std::string GraphBuilder::Add(NodeDef def) {
   const std::string name = def.name;
-  const Status status = graph_.AddNode(std::move(def));
-  assert(status.ok() && "GraphBuilder node add failed");
-  (void)status;
+  if (status_.ok()) {
+    const Status status = graph_.AddNode(std::move(def));
+    if (!status.ok()) status_ = InvalidArgumentError(status.message());
+  }
   return name;
 }
 
@@ -218,6 +217,7 @@ std::string GraphBuilder::MapAndBatch(const std::string& name,
 }
 
 StatusOr<GraphDef> GraphBuilder::Build(const std::string& output) const {
+  RETURN_IF_ERROR(status_);
   GraphDef graph = graph_;
   graph.SetOutput(output);
   RETURN_IF_ERROR(graph.Validate());

@@ -49,12 +49,15 @@ class GraphBuilder {
                           const std::string& udf, int64_t batch_size,
                           int parallelism = 1, bool drop_remainder = true);
 
-  // Finalizes with `output` as the root.
+  // Finalizes with `output` as the root. Returns InvalidArgument if any
+  // added node reused an existing name (the builder records the first
+  // such error instead of silently dropping the node).
   StatusOr<GraphDef> Build(const std::string& output) const;
 
  private:
   std::string Add(NodeDef def);
   GraphDef graph_;
+  Status status_;  // first Add error, surfaced by Build
 };
 
 }  // namespace plumber

@@ -19,6 +19,22 @@ RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
       return result;
     }
   }
+  if (options.warmup_seconds > 0) {
+    const int64_t warm_deadline =
+        WallNanos() + static_cast<int64_t>(options.warmup_seconds * 1e9);
+    while (WallNanos() < warm_deadline) {
+      bool end = false;
+      result.status = iterator->GetNext(&element, &end);
+      if (!result.status.ok() || end) {
+        result.reached_end = end;
+        return result;
+      }
+      if (options.model_step_seconds > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.model_step_seconds));
+      }
+    }
+  }
   const int64_t start_wall = WallNanos();
   const int64_t start_cpu = ProcessCpuNanos();
   const int64_t deadline =

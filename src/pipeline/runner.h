@@ -22,6 +22,10 @@ struct RunOptions {
   double model_step_seconds = 0;
   // Batches to discard before measuring (pipeline warmup).
   int64_t warmup_batches = 0;
+  // Wall-clock window driven on the same iterator before the measured
+  // window (so caches fill and threads spin up), excluded from the
+  // measurement. Runs after warmup_batches if both are set.
+  double warmup_seconds = 0;
 };
 
 struct RunResult {

@@ -289,6 +289,24 @@ std::vector<std::string> AllWorkloadNames() {
           "transformer_small", "gnmt"};
 }
 
+Session MakeWorkloadSession(const MachineSpec& machine) {
+  SessionOptions options;
+  options.machine = machine;
+  Session session(std::move(options));
+  Status status = RegisterStandardDatasets(&session.fs());
+  (void)status;
+  status = RegisterWorkloadUdfs(&session.udfs());
+  (void)status;
+  return session;
+}
+
+Session MakeWorkloadSession(const MachineSpec& machine,
+                            const DeviceSpec& storage) {
+  Session session = MakeWorkloadSession(machine);
+  session.AttachStorage(storage);
+  return session;
+}
+
 WorkloadEnv::WorkloadEnv(StorageDevice* device) : fs(device) {
   Status status = RegisterStandardDatasets(&fs);
   (void)status;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/session.h"
 #include "src/pipeline/graph_def.h"
 #include "src/pipeline/pipeline.h"
 #include "src/pipeline/udf.h"
@@ -66,8 +67,15 @@ StatusOr<Workload> MakeWorkload(const std::string& name);
 
 std::vector<std::string> AllWorkloadNames();
 
+// One-call environment as a Session (the unified API): standard
+// datasets + all workload UDFs, modeling `machine`; the overload with a
+// DeviceSpec attaches an owned storage device to the filesystem.
+Session MakeWorkloadSession(const MachineSpec& machine);
+Session MakeWorkloadSession(const MachineSpec& machine,
+                            const DeviceSpec& storage);
+
 // Convenience: one-call environment = filesystem with standard datasets
-// + registry with all UDFs.
+// + registry with all UDFs (the pre-Session, hand-wired layer).
 struct WorkloadEnv {
   SimFilesystem fs;
   UdfRegistry udfs;

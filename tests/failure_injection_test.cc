@@ -147,7 +147,8 @@ TEST(FailureInjectionTest, OptimizerSurvivesUntraceablePipeline) {
 
   OptimizeOptions options;
   options.machine = MachineSpec::SetupA();
-  options.pipeline_options = env.Options();
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
   options.trace_seconds = 0.05;
   PlumberOptimizer optimizer(options);
   auto result = optimizer.Optimize(graph);

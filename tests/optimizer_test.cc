@@ -26,7 +26,8 @@ OptimizeOptions MakeOptions(PipelineTestEnv& env, bool cache = false) {
   OptimizeOptions options;
   options.machine = MachineSpec::SetupA();
   options.machine.num_cores = 8;
-  options.pipeline_options = env.Options();
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
   options.trace_seconds = 0.25;
   options.enable_cache = cache;
   return options;

@@ -101,7 +101,8 @@ TEST(RewriteEquivalenceTest, FullOptimizerPreservesSemantics) {
   options.machine = MachineSpec::SetupA();
   options.machine.num_cores = 8;
   options.machine.memory_bytes = 10 << 20;
-  options.pipeline_options = env.Options();
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
   options.trace_seconds = 0.15;
   PlumberOptimizer optimizer(options);
   auto result = optimizer.Optimize(FiniteGraph());

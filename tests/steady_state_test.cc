@@ -147,7 +147,8 @@ TEST(SteadyStateTest, OptimizerReleasesCoresBehindCache) {
   options.machine = MachineSpec::SetupA();
   options.machine.num_cores = 8;
   options.machine.memory_bytes = 10 << 20;
-  options.pipeline_options = env.Options();
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
   options.trace_seconds = 0.2;
   PlumberOptimizer optimizer(options);
   auto result = optimizer.Optimize(graph);
