@@ -9,6 +9,8 @@
 // TransformerSmall); Transformer and GNMT tie at the model cap.
 #include <algorithm>
 #include <cstdio>
+#include <set>
+#include <string>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -104,6 +106,7 @@ int main() {
   Table rel({"workload", "naive", "autotune", "heuristic", "plumber",
              "plumber cache at"});
   Table abs({"workload", "naive mb/s", "autotune", "heuristic", "plumber"});
+  std::set<std::string> emitted_metrics;
   for (const auto& [name, cores] : configs) {
     // A reduced-core config (the MultiBoxSSD(48) appendix run) disables
     // the extra cores at the OS level, not just in the tuners' budget.
@@ -116,6 +119,20 @@ int main() {
     const std::string label =
         cores == kSetupCCores ? row.workload : row.workload + "(48)";
     const double base = row.naive > 0 ? row.naive : 1;
+    // Machine-readable metrics (higher is better) scraped by
+    // scripts/run_bench_json.sh into BENCH_*.json for the CI
+    // perf-regression gate. The relative metric is the one worth
+    // gating across hosts; absolute rates are recorded for context.
+    // On a 1-core host the full- and half-core configs collapse to the
+    // same label; emit each label once so the JSON has unique keys.
+    if (emitted_metrics.insert(label).second) {
+      std::printf("BENCH_METRIC fig10.%s.naive_mbps %.4f\n", label.c_str(),
+                  row.naive);
+      std::printf("BENCH_METRIC fig10.%s.plumber_mbps %.4f\n", label.c_str(),
+                  row.plumber);
+      std::printf("BENCH_METRIC fig10.%s.plumber_rel %.4f\n", label.c_str(),
+                  row.plumber / base);
+    }
     rel.AddRow({label, "1.0", Table::Num(row.autotune / base, 1),
                 Table::Num(row.heuristic / base, 1),
                 Table::Num(row.plumber / base, 1), row.cache_node});

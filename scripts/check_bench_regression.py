@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""CI performance-regression gate.
+
+Compares the BENCH_*.json files produced by scripts/run_bench_json.sh
+(via the `bench_json` CMake target) against committed baselines under
+bench/baselines/, prints a per-metric delta table, and exits non-zero
+if any gated metric dropped by more than the threshold (default 15%).
+
+Two JSON shapes are understood:
+  * Google Benchmark native output (bench_micro_*): every benchmark
+    entry with an items_per_second counter becomes a metric.
+  * The plain-bench wrapper written by run_bench_json.sh: the "metrics"
+    object (scraped from BENCH_METRIC stdout lines) is used verbatim.
+All metrics are higher-is-better throughputs.
+
+When the current host's core count differs from the baseline's
+(recorded as google-benchmark context.num_cpus / wrapper host_cores),
+only relative metrics (*_rel) are gated — absolute throughputs do not
+compare across machine shapes. Re-bless baselines from the CI host
+class to gate everything.
+
+Usage:
+  check_bench_regression.py [--baseline-dir bench/baselines]
+                            [--current-dir build] [--threshold 0.15]
+                            [--benches bench_micro_engine,...] [--update]
+
+Refreshing baselines (after an intentional perf change, on the same
+class of machine that CI uses):
+  cmake --build build --target bench_json
+  python3 scripts/check_bench_regression.py --update
+  git add bench/baselines && git commit
+
+Environment: BENCH_REGRESSION_THRESHOLD overrides --threshold.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BENCHES = ["bench_micro_engine", "bench_fig10_end_to_end"]
+
+
+def add_derived_ratios(metrics):
+    """Adds <family>/<arg>_vs_1_rel ratio metrics for every benchmark
+    family that has an arg-1 variant (e.g. BM_EngineBatchCheapUdf/8/64
+    vs .../8/1). Ratios of same-host rates are portable across machine
+    shapes, so they stay gated when absolute throughputs are not —
+    without them a cross-host run would not gate the micro benches at
+    all. Derived identically for baseline and current."""
+    families = {}
+    for name, rate in metrics.items():
+        parts = name.split("/")
+        # Drop google-benchmark decorations (e.g. trailing "real_time").
+        while parts and not parts[-1].lstrip("-").isdigit():
+            parts.pop()
+        if not parts:
+            continue
+        families.setdefault("/".join(parts[:-1]), {})[parts[-1]] = rate
+    for family, variants in families.items():
+        base = variants.get("1")
+        if not base or base <= 0:
+            continue
+        for arg, rate in variants.items():
+            if arg != "1":
+                metrics[f"{family}/{arg}_vs_1_rel"] = rate / base
+
+
+def load_metrics(path):
+    """Returns ({metric_name: value}, host_cores or None) for one
+    BENCH_*.json file."""
+    with open(path) as f:
+        data = json.load(f)
+    metrics = {}
+    cores = None
+    if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
+        cores = data.get("context", {}).get("num_cpus")
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            rate = bench.get("items_per_second")
+            if rate:
+                metrics[bench["name"]] = float(rate)
+        add_derived_ratios(metrics)
+    elif isinstance(data, dict):
+        cores = data.get("host_cores")
+        for name, value in data.get("metrics", {}).items():
+            metrics[name] = float(value)
+    return metrics, cores
+
+
+def is_portable(name):
+    """Relative (ratio) metrics compare across machine shapes; absolute
+    throughputs only compare between same-core-count hosts."""
+    return name.endswith("_rel")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.15")),
+        help="max tolerated fractional throughput drop (default 0.15)")
+    parser.add_argument(
+        "--benches",
+        default=",".join(DEFAULT_BENCHES),
+        help="comma-separated bench names to gate")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="bless the current results as the new baselines")
+    args = parser.parse_args()
+
+    benches = [b for b in args.benches.split(",") if b]
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        blessed = 0
+        for bench in benches:
+            current = os.path.join(args.current_dir, f"BENCH_{bench}.json")
+            if not os.path.exists(current):
+                print(f"UPDATE skip {bench}: {current} not found")
+                continue
+            shutil.copy(current, os.path.join(args.baseline_dir,
+                                              f"BENCH_{bench}.json"))
+            print(f"UPDATE {bench}: blessed {current}")
+            blessed += 1
+        return 0 if blessed else 1
+
+    rows = []  # (metric, baseline, current, delta or None)
+    failures = []
+    warnings = []
+    missing_current = []
+    for bench in benches:
+        base_path = os.path.join(args.baseline_dir, f"BENCH_{bench}.json")
+        cur_path = os.path.join(args.current_dir, f"BENCH_{bench}.json")
+        if not os.path.exists(base_path):
+            print(f"NOTE {bench}: no committed baseline ({base_path}); "
+                  "skipping (bless one with --update)")
+            continue
+        if not os.path.exists(cur_path):
+            missing_current.append(bench)
+            continue
+        base, base_cores = load_metrics(base_path)
+        cur, cur_cores = load_metrics(cur_path)
+        # Baselines from a different machine shape: absolute throughputs
+        # are incomparable, so gate only the relative (ratio) metrics
+        # until someone re-blesses baselines from this host class.
+        cross_host = (base_cores is not None and cur_cores is not None
+                      and base_cores != cur_cores)
+        if cross_host:
+            skipped = [n for n in base if not is_portable(n)]
+            if skipped:
+                print(f"NOTE {bench}: baseline from a {base_cores}-core "
+                      f"host, current from {cur_cores} cores; gating only "
+                      f"relative metrics ({len(skipped)} absolute metrics "
+                      "not compared — re-bless baselines on this host "
+                      "class to gate them)")
+        for name in sorted(base):
+            if cross_host and not is_portable(name):
+                continue
+            if name not in cur:
+                rows.append((f"{bench}:{name}", base[name], None, None))
+                # A different machine shape can legitimately drop whole
+                # configs (e.g. the half-core fig10 run on a 1-core
+                # host), so a missing metric is a warning, not a
+                # failure; crashed/missing benches fail above.
+                warnings.append(f"{bench}:{name} missing from current run")
+                continue
+            if base[name] <= 0:
+                continue
+            delta = (cur[name] - base[name]) / base[name]
+            rows.append((f"{bench}:{name}", base[name], cur[name], delta))
+            if delta < -args.threshold:
+                failures.append(
+                    f"{bench}:{name} dropped {-delta:.1%} "
+                    f"({base[name]:.4g} -> {cur[name]:.4g})")
+        for name in sorted(set(cur) - set(base)):
+            rows.append((f"{bench}:{name}", None, cur[name], None))
+
+    if rows:
+        name_w = max(len(r[0]) for r in rows)
+        fmt = lambda v: f"{v:14.4g}" if v is not None else f"{'-':>14}"
+        print(f"\n{'metric':<{name_w}} {'baseline':>14} {'current':>14} "
+              f"{'delta':>8}")
+        for name, base, cur, delta in rows:
+            d = f"{delta:+8.1%}" if delta is not None else f"{'-':>8}"
+            flag = "  <-- REGRESSION" if (
+                delta is not None and delta < -args.threshold) else ""
+            print(f"{name:<{name_w}} {fmt(base)} {fmt(cur)} {d}{flag}")
+        print()
+
+    for bench in missing_current:
+        failures.append(
+            f"{bench}: BENCH_{bench}.json missing from {args.current_dir} "
+            "(bench not built or crashed)")
+
+    for w in warnings:
+        print(f"WARN: {w}")
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"OK: no gated metric regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

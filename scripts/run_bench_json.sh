@@ -7,7 +7,14 @@
 #
 # bench_micro_* binaries are Google Benchmark programs and emit native
 # JSON; plain-main benches are timed and wrapped in a small JSON record.
-set -u
+# Plain benches may additionally print "BENCH_METRIC <name> <value>"
+# lines (higher is better) to stdout; those are scraped into the JSON
+# record's "metrics" object for scripts/check_bench_regression.py.
+#
+# A crashing bench exits this script non-zero and leaves no partial
+# BENCH_<name>.json behind (the .log keeps the evidence), so CI can
+# never mistake a crash for an empty-but-valid benchmark result.
+set -euo pipefail
 
 if [ $# -lt 3 ]; then
   echo "usage: $0 <bin_dir> <out_dir> <bench_name>..." >&2
@@ -20,6 +27,7 @@ shift 2
 
 now_s() { date +%s.%N; }
 elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+host_cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
 
 entries=""
 overall=0
@@ -30,33 +38,44 @@ for name in "$@"; do
     continue
   fi
   out="$out_dir/BENCH_${name}.json"
+  log="$out_dir/BENCH_${name}.log"
   start=$(now_s)
+  status=0
   case "$name" in
     bench_micro_*)
       "$bin" --benchmark_format=json --benchmark_out="$out" \
-        >"$out_dir/BENCH_${name}.log" 2>&1
-      status=$?
+        >"$log" 2>&1 || status=$?
       ;;
     *)
-      "$bin" >"$out_dir/BENCH_${name}.log" 2>&1
-      status=$?
+      "$bin" >"$log" 2>&1 || status=$?
       ;;
   esac
   end=$(now_s)
   wall=$(elapsed "$start" "$end")
-  case "$name" in
-    bench_micro_*) ;;  # native JSON already written
-    *)
-      printf '{"bench":"%s","exit_code":%d,"wall_seconds":%s}\n' \
-        "$name" "$status" "$wall" > "$out"
-      ;;
-  esac
+  if [ "$status" -ne 0 ]; then
+    # Drop any partial artifact: a crashed bench must fail loudly, not
+    # upload an empty/truncated JSON that later compares as "fine".
+    rm -f "$out"
+    overall=1
+  else
+    case "$name" in
+      bench_micro_*) ;;  # native JSON already written
+      *)
+        # Scrape "BENCH_METRIC <name> <value>" lines into a metrics map.
+        # host_cores lets the regression gate recognize baselines from a
+        # different machine shape and gate only portable metrics.
+        metrics=$(awk '/^BENCH_METRIC [^ ]+ [0-9.eE+-]+$/ {
+            printf "%s\"%s\":%s", sep, $2, $3; sep="," }' "$log")
+        printf '{"bench":"%s","exit_code":%d,"wall_seconds":%s,"host_cores":%s,"metrics":{%s}}\n' \
+          "$name" "$status" "$wall" "$host_cores" "$metrics" > "$out"
+        ;;
+    esac
+  fi
   entries="${entries:+$entries,}{\"bench\":\"$name\",\"exit_code\":$status,\"wall_seconds\":$wall}"
-  [ "$status" -ne 0 ] && overall=1
   echo "BENCH $name: exit=$status wall=${wall}s -> $out"
 done
 
-printf '{"host_cores":%s,"benches":[%s]}\n' "$(nproc)" "$entries" \
+printf '{"host_cores":%s,"benches":[%s]}\n' "$host_cores" "$entries" \
   > "$out_dir/BENCH_summary.json"
 echo "Wrote $out_dir/BENCH_summary.json"
 exit "$overall"

@@ -291,9 +291,12 @@ RunReport MakeReport(Pipeline& pipeline, const RunResult& result,
 
 StatusOr<RunReport> Flow::Run(const RunOptions& options) const {
   ASSIGN_OR_RETURN(GraphDef graph, Graph());
+  PipelineOptions popts = internal::MakePipelineOptions(*state_);
+  if (options.engine_batch_size > 0) {
+    popts.engine_batch_size = options.engine_batch_size;
+  }
   ASSIGN_OR_RETURN(auto pipeline,
-                   Pipeline::Create(std::move(graph),
-                                    internal::MakePipelineOptions(*state_)));
+                   Pipeline::Create(std::move(graph), popts));
   ASSIGN_OR_RETURN(auto iterator, pipeline->MakeIterator());
   RunOptions measured = options;
   if (measured.warmup_seconds > 0) {

@@ -17,6 +17,7 @@ PipelineOptions MakePipelineOptions(SessionState& state) {
   popts.memory_budget_bytes = so.memory_budget_bytes > 0
                                   ? so.memory_budget_bytes
                                   : so.machine.memory_bytes;
+  popts.engine_batch_size = so.engine_batch_size;
   return popts;
 }
 
@@ -32,6 +33,11 @@ void ApplyEnvironment(SessionState& state, OptimizeOptions* options) {
   options->udfs = &state.udfs;
   options->seed = so.seed;
   options->work_model = so.work_model;
+  // Unlike the true environment fields above, an explicit per-call
+  // engine_batch_size is a tuning knob and wins over the session's.
+  if (options->engine_batch_size <= 0) {
+    options->engine_batch_size = so.engine_batch_size;
+  }
 }
 
 }  // namespace internal

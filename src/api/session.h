@@ -38,6 +38,12 @@ struct SessionOptions {
   // instantiated pipelines and the optimizer's planning budget. 0
   // derives both from machine.memory_bytes.
   uint64_t memory_budget_bytes = 0;
+  // Engine batch size for every pipeline built from this session: how
+  // many elements parallel operators claim and hand off per lock
+  // acquisition. 1 = element-at-a-time (identical results, classic
+  // engine); larger amortizes queue/lock overhead for cheap UDFs.
+  // RunOptions.engine_batch_size overrides per run.
+  int engine_batch_size = 1;
 };
 
 namespace internal {

@@ -13,6 +13,7 @@ PipelineOptions OptimizeOptions::MakePipelineOptions() const {
   popts.seed = seed;
   popts.tracing_enabled = true;
   popts.memory_budget_bytes = machine.memory_bytes;
+  popts.engine_batch_size = engine_batch_size;
   return popts;
 }
 

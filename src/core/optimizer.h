@@ -30,6 +30,14 @@ struct OptimizeOptions {
   const UdfRegistry* udfs = nullptr;
   uint64_t seed = 42;
   CpuWorkModel work_model = CpuWorkModel::kTimed;
+  // Engine batch size for every pipeline the optimizer instantiates
+  // (traces and evaluations), so it measures the same engine the tuned
+  // pipeline will run on. 0 = inherit the Session's value when going
+  // through Flow::Optimize / Session::OptimizeBest (and behave as 1 —
+  // element-at-a-time — when the optimizer is driven directly); >0 is
+  // an explicit override that ApplyEnvironment leaves alone. See
+  // PipelineOptions::engine_batch_size.
+  int engine_batch_size = 0;
   double trace_seconds = 0.3;
   int passes = 2;
   bool enable_parallelism = true;

@@ -7,6 +7,7 @@
 // amortizing per-element queue handoffs, which matters exactly for the
 // tiny-element text pipelines of §5.1 ("motivating a batched execution
 // engine", App. C.3).
+#include <algorithm>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -69,6 +70,39 @@ class ZipIterator : public IteratorBase {
       for (auto& c : in.components) out->components.push_back(std::move(c));
     }
     *end = false;
+    return OkStatus();
+  }
+
+  // Batched zip: claim a vector from every input, pair them up to the
+  // shortest claim. Elements past the shortest input's end are
+  // unobservable downstream either way, so output matches the
+  // element-at-a-time path.
+  Status GetNextBatchInternal(std::vector<Element>* out, size_t max_elements,
+                              bool* end) override {
+    if (max_elements <= 1) {
+      return IteratorBase::GetNextBatchInternal(out, max_elements, end);
+    }
+    std::vector<std::vector<Element>> claims(inputs_.size());
+    size_t take = max_elements;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      bool in_end = false;
+      RETURN_IF_ERROR(inputs_[i]->GetNextBatch(&claims[i], take, &in_end));
+      take = std::min(take, claims[i].size());
+    }
+    if (take > 0) {
+      stats_->RecordConsumedBatch(take * inputs_.size());
+    }
+    for (size_t row = 0; row < take; ++row) {
+      Element zipped;
+      zipped.sequence = claims[0][row].sequence;
+      for (auto& claim : claims) {
+        for (auto& c : claim[row].components) {
+          zipped.components.push_back(std::move(c));
+        }
+      }
+      out->push_back(std::move(zipped));
+    }
+    if (take < max_elements) *end = true;
     return OkStatus();
   }
 
@@ -136,6 +170,38 @@ class ConcatenateIterator : public IteratorBase {
       current_.reset();
       ++index_;
     }
+  }
+
+  // Batched concatenate: drain the current child a whole batch at a
+  // time, rolling over to the next child mid-batch.
+  Status GetNextBatchInternal(std::vector<Element>* out, size_t max_elements,
+                              bool* end) override {
+    if (max_elements <= 1) {
+      return IteratorBase::GetNextBatchInternal(out, max_elements, end);
+    }
+    size_t taken = 0;
+    while (taken < max_elements) {
+      if (current_ == nullptr) {
+        if (index_ >= dataset_->inputs().size()) {
+          *end = true;
+          return OkStatus();
+        }
+        ASSIGN_OR_RETURN(current_,
+                         dataset_->inputs()[index_]->MakeIterator(ctx_));
+      }
+      const size_t before = out->size();
+      bool in_end = false;
+      RETURN_IF_ERROR(
+          current_->GetNextBatch(out, max_elements - taken, &in_end));
+      const size_t claimed = out->size() - before;
+      taken += claimed;
+      if (claimed > 0) stats_->RecordConsumedBatch(claimed);
+      if (in_end) {
+        current_.reset();
+        ++index_;
+      }
+    }
+    return OkStatus();
   }
 
  private:
@@ -231,6 +297,10 @@ class MapAndBatchIterator : public IteratorBase {
 
  private:
   void WorkerLoop() {
+    // Inside the input lock, claim in engine-batch chunks: one child
+    // call (one lock/scope) per chunk instead of per element.
+    const size_t chunk =
+        static_cast<size_t>(std::max(1, ctx_->engine_batch_size));
     for (;;) {
       std::vector<Element> raw;
       raw.reserve(batch_size_);
@@ -238,10 +308,11 @@ class MapAndBatchIterator : public IteratorBase {
       {
         std::lock_guard<std::mutex> lock(input_mu_);
         if (input_done_) break;
-        for (int64_t i = 0; i < batch_size_; ++i) {
-          Element in;
+        while (static_cast<int64_t>(raw.size()) < batch_size_) {
+          const size_t want = std::min(
+              chunk, static_cast<size_t>(batch_size_) - raw.size());
           bool in_end = false;
-          const Status status = input_->GetNext(&in, &in_end);
+          const Status status = input_->GetNextBatch(&raw, want, &in_end);
           if (!status.ok()) {
             if (first_error_.ok()) first_error_ = status;
             input_done_ = true;
@@ -253,9 +324,8 @@ class MapAndBatchIterator : public IteratorBase {
             saw_end = true;
             break;
           }
-          stats_->RecordConsumed();
-          raw.push_back(std::move(in));
         }
+        if (!raw.empty()) stats_->RecordConsumedBatch(raw.size());
       }
       const bool drop =
           drop_remainder_ && static_cast<int64_t>(raw.size()) < batch_size_;

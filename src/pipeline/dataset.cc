@@ -18,6 +18,41 @@ Status IteratorBase::GetNext(Element* out, bool* end_of_sequence) {
   return status;
 }
 
+Status IteratorBase::GetNextBatch(std::vector<Element>* out,
+                                  size_t max_elements,
+                                  bool* end_of_sequence) {
+  if (ctx_->is_cancelled()) return CancelledError("pipeline cancelled");
+  std::optional<CpuAccountingScope> scope;
+  if (ctx_->tracing_enabled) scope.emplace(stats_);
+  *end_of_sequence = false;
+  const size_t before = out->size();
+  Status status = GetNextBatchInternal(out, max_elements, end_of_sequence);
+  if (status.ok() && out->size() > before) {
+    uint64_t bytes = 0;
+    for (size_t i = before; i < out->size(); ++i) {
+      bytes += (*out)[i].TotalBytes();
+    }
+    stats_->RecordProducedBatch(out->size() - before, bytes);
+  }
+  return status;
+}
+
+Status IteratorBase::GetNextBatchInternal(std::vector<Element>* out,
+                                          size_t max_elements,
+                                          bool* end_of_sequence) {
+  for (size_t i = 0; i < max_elements; ++i) {
+    Element element;
+    bool end = false;
+    RETURN_IF_ERROR(GetNextInternal(&element, &end));
+    if (end) {
+      *end_of_sequence = true;
+      return OkStatus();
+    }
+    out->push_back(std::move(element));
+  }
+  return OkStatus();
+}
+
 bool OpSupportsParallelism(const std::string& op) {
   return op == "map" || op == "interleave" || op == "map_and_batch";
 }

@@ -42,6 +42,12 @@ struct PipelineContext {
   // 0 = unlimited. Cache datasets fail with ResourceExhausted if
   // materialization would exceed this.
   uint64_t memory_budget_bytes = 0;
+  // Engine batch size: how many elements parallel operators claim from
+  // their input and hand off through their queues per lock acquisition.
+  // 1 (the default) is element-at-a-time execution, identical to the
+  // pre-batching engine; larger values amortize queue/lock overhead
+  // when UDFs are cheap. Does not change what elements are produced.
+  int engine_batch_size = 1;
   std::shared_ptr<std::atomic<bool>> cancelled =
       std::make_shared<std::atomic<bool>>(false);
 
@@ -63,10 +69,24 @@ class IteratorBase {
   // (callers serialize access; parallel ops serialize child pulls).
   Status GetNext(Element* out, bool* end_of_sequence);
 
+  // Appends up to `max_elements` elements to *out in one call — one
+  // cancellation check and one CPU-accounting scope for the whole
+  // batch. May return elements AND set *end_of_sequence when the
+  // source is exhausted mid-batch; *end_of_sequence with an empty
+  // append means exhaustion. Same serialization contract as GetNext.
+  Status GetNextBatch(std::vector<Element>* out, size_t max_elements,
+                      bool* end_of_sequence);
+
   IteratorStats* stats() const { return stats_; }
 
  protected:
   virtual Status GetNextInternal(Element* out, bool* end_of_sequence) = 0;
+
+  // Default: loops GetNextInternal. Queue-backed iterators override to
+  // drain whole batches per queue lock.
+  virtual Status GetNextBatchInternal(std::vector<Element>* out,
+                                      size_t max_elements,
+                                      bool* end_of_sequence);
 
   PipelineContext* ctx_;
   IteratorStats* stats_;

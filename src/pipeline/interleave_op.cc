@@ -5,10 +5,12 @@
 // semantics. Parallel mode assigns whole files to `parallelism` reader
 // workers feeding a bounded queue — the read-parallelism knob that
 // drives the parallelism->bandwidth curve for throttled storage.
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "src/pipeline/ops.h"
 #include "src/util/bounded_queue.h"
@@ -110,6 +112,10 @@ class SequentialInterleaveIterator : public IteratorBase {
   uint64_t sequence_ = 0;
 };
 
+// With engine_batch_size > 1 each reader accumulates a vector of
+// records and hands it off in one PushBatch, and the consumer drains
+// whole batches per queue lock; batch size 1 is the classic
+// record-at-a-time handoff.
 class ParallelInterleaveIterator : public IteratorBase {
  public:
   ParallelInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
@@ -117,7 +123,10 @@ class ParallelInterleaveIterator : public IteratorBase {
                              int parallelism)
       : IteratorBase(ctx, stats), input_(std::move(input)),
         parallelism_(parallelism),
-        queue_(static_cast<size_t>(parallelism) * 4) {
+        queue_(static_cast<size_t>(parallelism) * 4),
+        batch_size_(
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
+        consumer_(&queue_, batch_size_) {
     stats_->SetParallelism(parallelism_);
     active_workers_.store(parallelism_);
     workers_.reserve(parallelism_);
@@ -138,20 +147,20 @@ class ParallelInterleaveIterator : public IteratorBase {
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
     for (;;) {
-      auto item = queue_.Pop();
-      if (!item.has_value()) {
+      Item item;
+      if (!consumer_.Next(&item)) {
         *end = true;
         return OkStatus();
       }
-      if (!item->status.ok()) {
+      if (!item.status.ok()) {
         *end = true;
-        return item->status;
+        return item.status;
       }
-      if (item->end) {
+      if (item.end) {
         *end = true;
         return OkStatus();
       }
-      *out = std::move(item->element);
+      *out = std::move(item.element);
       *end = false;
       return OkStatus();
     }
@@ -165,6 +174,16 @@ class ParallelInterleaveIterator : public IteratorBase {
   };
 
   void WorkerLoop() {
+    std::vector<Item> pending;
+    pending.reserve(batch_size_);
+    // Hands accumulated records to the queue; false when cancelled.
+    auto flush = [&]() -> bool {
+      if (pending.empty()) return true;
+      std::vector<Item> batch;
+      batch.swap(pending);
+      pending.reserve(batch_size_);
+      return queue_.PushBatch(std::move(batch));
+    };
     for (;;) {
       if (ctx_->is_cancelled()) break;
       std::string name;
@@ -177,13 +196,15 @@ class ParallelInterleaveIterator : public IteratorBase {
         if (!status.ok() || done) files_done_ = true;
       }
       if (!status.ok()) {
-        queue_.Push(Item{{}, status, false});
+        pending.push_back(Item{{}, status, false});
+        flush();
         break;
       }
       if (done) break;
       auto reader_or = ctx_->fs->OpenRecord(name);
       if (!reader_or.ok()) {
-        queue_.Push(Item{{}, reader_or.status(), false});
+        pending.push_back(Item{{}, reader_or.status(), false});
+        flush();
         break;
       }
       auto reader = std::move(reader_or).value();
@@ -198,7 +219,8 @@ class ParallelInterleaveIterator : public IteratorBase {
           read_status = reader->ReadRecord(&payload, &file_end);
         }
         if (!read_status.ok()) {
-          queue_.Push(Item{{}, read_status, false});
+          pending.push_back(Item{{}, read_status, false});
+          flush();
           stop = true;
           break;
         }
@@ -207,13 +229,17 @@ class ParallelInterleaveIterator : public IteratorBase {
         Element elem = Element::FromBuffer(
             std::move(payload),
             sequence_.fetch_add(1, std::memory_order_relaxed));
-        if (!queue_.Push(Item{std::move(elem), OkStatus(), false})) {
+        pending.push_back(Item{std::move(elem), OkStatus(), false});
+        if (pending.size() >= batch_size_ && !flush()) {
           stop = true;  // cancelled
           break;
         }
       }
       if (stop) break;
+      // Flush the file's tail so a slow next file cannot strand records.
+      if (!flush()) break;
     }
+    flush();
     if (active_workers_.fetch_sub(1) == 1) {
       queue_.Push(Item{{}, OkStatus(), true});
     }
@@ -226,9 +252,13 @@ class ParallelInterleaveIterator : public IteratorBase {
   bool files_done_ = false;
 
   BoundedQueue<Item> queue_;
+  const size_t batch_size_;
   std::atomic<int> active_workers_{0};
   std::atomic<uint64_t> sequence_{0};
   std::vector<std::thread> workers_;
+
+  // Consumer-side batch buffer (accessed only from GetNext).
+  BatchedQueueConsumer<Item> consumer_;
 };
 
 StatusOr<std::unique_ptr<IteratorBase>> InterleaveDataset::MakeIterator(

@@ -3,15 +3,27 @@
 #include "src/util/cpu_timer.h"
 
 namespace plumber {
+namespace internal {
+
+size_t ThreadStatShard() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal
 
 void IteratorStats::Reset() {
-  elements_produced_.store(0, std::memory_order_relaxed);
-  elements_consumed_.store(0, std::memory_order_relaxed);
-  bytes_produced_.store(0, std::memory_order_relaxed);
-  bytes_read_.store(0, std::memory_order_relaxed);
-  cpu_ns_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    s.elements_produced.store(0, std::memory_order_relaxed);
+    s.elements_consumed.store(0, std::memory_order_relaxed);
+    s.bytes_produced.store(0, std::memory_order_relaxed);
+    s.bytes_read.store(0, std::memory_order_relaxed);
+    s.cpu_ns.store(0, std::memory_order_relaxed);
+    s.cached_bytes.store(0, std::memory_order_relaxed);
+  }
   queue_empty_fraction_.store(0, std::memory_order_relaxed);
-  cached_bytes_.store(0, std::memory_order_relaxed);
 }
 
 IteratorStats* StatsRegistry::GetOrCreate(const std::string& name,

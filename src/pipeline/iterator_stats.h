@@ -7,6 +7,13 @@
 // children and start when control is returned" — implemented with a
 // thread-local stack of accounting scopes: entering a child scope
 // charges the elapsed thread-CPU delta to the parent and re-marks.
+//
+// The hot counters are sharded: each writer thread lands on one of
+// kStatShards cache-line-aligned slots (assigned round-robin per
+// thread), so N parallel-map workers bumping the same node's counters
+// never contend on a shared cache line. Readers aggregate across
+// shards; sums are exact (every increment lands in exactly one shard),
+// which keeps the LP planner's inputs consistent.
 #pragma once
 
 #include <atomic>
@@ -19,6 +26,14 @@
 
 namespace plumber {
 
+namespace internal {
+// Stable per-thread shard slot, assigned round-robin on first use so
+// worker pools spread evenly across shards.
+size_t ThreadStatShard();
+}  // namespace internal
+
+inline constexpr size_t kStatShards = 16;  // power of two
+
 class IteratorStats {
  public:
   explicit IteratorStats(std::string name, std::string op)
@@ -27,18 +42,23 @@ class IteratorStats {
   const std::string& name() const { return name_; }
   const std::string& op() const { return op_; }
 
-  void RecordProduced(uint64_t bytes) {
-    elements_produced_.fetch_add(1, std::memory_order_relaxed);
-    bytes_produced_.fetch_add(bytes, std::memory_order_relaxed);
+  void RecordProduced(uint64_t bytes) { RecordProducedBatch(1, bytes); }
+  // One counter bump for a whole claimed batch (batched engine path).
+  void RecordProducedBatch(uint64_t count, uint64_t bytes) {
+    Shard& s = LocalShard();
+    s.elements_produced.fetch_add(count, std::memory_order_relaxed);
+    s.bytes_produced.fetch_add(bytes, std::memory_order_relaxed);
   }
-  void RecordConsumed() {
-    elements_consumed_.fetch_add(1, std::memory_order_relaxed);
+  void RecordConsumed() { RecordConsumedBatch(1); }
+  void RecordConsumedBatch(uint64_t count) {
+    LocalShard().elements_consumed.fetch_add(count,
+                                             std::memory_order_relaxed);
   }
   void AddCpuNanos(int64_t ns) {
-    if (ns > 0) cpu_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (ns > 0) LocalShard().cpu_ns.fetch_add(ns, std::memory_order_relaxed);
   }
   void AddBytesRead(uint64_t bytes) {
-    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    LocalShard().bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   }
   void SetParallelism(int p) {
     parallelism_.store(p, std::memory_order_relaxed);
@@ -51,22 +71,18 @@ class IteratorStats {
     queue_empty_fraction_.store(f, std::memory_order_relaxed);
   }
   void AddCachedBytes(int64_t bytes) {
-    cached_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    LocalShard().cached_bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   uint64_t elements_produced() const {
-    return elements_produced_.load(std::memory_order_relaxed);
+    return Sum(&Shard::elements_produced);
   }
   uint64_t elements_consumed() const {
-    return elements_consumed_.load(std::memory_order_relaxed);
+    return Sum(&Shard::elements_consumed);
   }
-  uint64_t bytes_produced() const {
-    return bytes_produced_.load(std::memory_order_relaxed);
-  }
-  uint64_t bytes_read() const {
-    return bytes_read_.load(std::memory_order_relaxed);
-  }
-  int64_t cpu_ns() const { return cpu_ns_.load(std::memory_order_relaxed); }
+  uint64_t bytes_produced() const { return Sum(&Shard::bytes_produced); }
+  uint64_t bytes_read() const { return Sum(&Shard::bytes_read); }
+  int64_t cpu_ns() const { return SumSigned(&Shard::cpu_ns); }
   int parallelism() const {
     return parallelism_.load(std::memory_order_relaxed);
   }
@@ -77,23 +93,44 @@ class IteratorStats {
   double queue_empty_fraction() const {
     return queue_empty_fraction_.load(std::memory_order_relaxed);
   }
-  int64_t cached_bytes() const {
-    return cached_bytes_.load(std::memory_order_relaxed);
-  }
+  int64_t cached_bytes() const { return SumSigned(&Shard::cached_bytes); }
 
   void Reset();
 
  private:
+  // One cache line per shard: six 8-byte counters + padding.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> elements_produced{0};
+    std::atomic<uint64_t> elements_consumed{0};
+    std::atomic<uint64_t> bytes_produced{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<int64_t> cpu_ns{0};
+    std::atomic<int64_t> cached_bytes{0};
+  };
+
+  Shard& LocalShard() {
+    return shards_[internal::ThreadStatShard() & (kStatShards - 1)];
+  }
+  uint64_t Sum(std::atomic<uint64_t> Shard::*field) const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += (s.*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  int64_t SumSigned(std::atomic<int64_t> Shard::*field) const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += (s.*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
   const std::string name_;
   const std::string op_;
-  std::atomic<uint64_t> elements_produced_{0};
-  std::atomic<uint64_t> elements_consumed_{0};
-  std::atomic<uint64_t> bytes_produced_{0};
-  std::atomic<uint64_t> bytes_read_{0};
-  std::atomic<int64_t> cpu_ns_{0};
+  Shard shards_[kStatShards];
   std::atomic<int> parallelism_{1};
   std::atomic<double> queue_empty_fraction_{0};
-  std::atomic<int64_t> cached_bytes_{0};
   mutable std::mutex mu_;
   std::string udf_name_;
 };

@@ -66,6 +66,12 @@ class SequentialMapIterator : public IteratorBase {
 // Parallel map: N workers pull from the (serialized) child, execute the
 // UDF, and push to a bounded output queue. Deterministic mode restores
 // input order with a reorder buffer keyed by a pull-time ticket.
+//
+// With engine_batch_size > 1 each worker claims a whole vector of
+// inputs under one input-lock acquisition, executes the UDF per
+// element, and hands the results off in one PushBatch; the consumer
+// drains whole batches per queue lock. batch size 1 degenerates to the
+// classic element-at-a-time engine.
 class ParallelMapIterator : public IteratorBase {
  public:
   ParallelMapIterator(PipelineContext* ctx, IteratorStats* stats,
@@ -81,7 +87,10 @@ class ParallelMapIterator : public IteratorBase {
         // batch assembly drains several items back-to-back): 2x the
         // worker count stalls the pool whenever the consumer pauses for
         // longer than one element's work.
-        queue_(static_cast<size_t>(std::max(8, parallelism * 4))) {
+        queue_(static_cast<size_t>(std::max(8, parallelism * 4))),
+        batch_size_(
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
+        consumer_(&queue_, batch_size_) {
     stats_->SetParallelism(parallelism_);
     active_workers_.store(parallelism_);
     workers_.reserve(parallelism_);
@@ -120,17 +129,17 @@ class ParallelMapIterator : public IteratorBase {
           return OkStatus();
         }
       }
-      auto item = queue_.Pop();
-      if (!item.has_value()) {  // cancelled
+      Item item;
+      if (!consumer_.Next(&item)) {  // cancelled
         *end = true;
         return OkStatus();
       }
-      if (!item->status.ok()) {
-        first_error_ = item->status;
+      if (!item.status.ok()) {
+        first_error_ = item.status;
         *end = true;
         return first_error_;
       }
-      if (item->end) {
+      if (item.end) {
         end_received_ = true;
         if (!deterministic_ || pending_.empty()) {
           if (deterministic_) continue;  // drain pending via loop head
@@ -140,11 +149,11 @@ class ParallelMapIterator : public IteratorBase {
         continue;
       }
       if (!deterministic_) {
-        *out = std::move(item->element);
+        *out = std::move(item.element);
         *end = false;
         return OkStatus();
       }
-      pending_.emplace(item->order, std::move(item->element));
+      pending_.emplace(item.order, std::move(item.element));
     }
   }
 
@@ -159,37 +168,46 @@ class ParallelMapIterator : public IteratorBase {
   void WorkerLoop() {
     for (;;) {
       if (ctx_->is_cancelled()) break;
-      Element in;
+      std::vector<Element> claimed;
+      claimed.reserve(batch_size_);
       bool end = false;
-      uint64_t order = 0;
+      uint64_t order_base = 0;
       Status status;
       {
+        // One lock acquisition claims the whole batch and its
+        // consecutive order tickets (so deterministic reordering is
+        // unchanged by batching).
         std::lock_guard<std::mutex> lock(input_mu_);
         if (input_done_) break;
-        status = input_->GetNext(&in, &end);
-        if (!status.ok() || end) {
-          input_done_ = true;
-        } else {
-          order = next_order_++;
-          stats_->RecordConsumed();
+        status = input_->GetNextBatch(&claimed, batch_size_, &end);
+        if (!status.ok() || end) input_done_ = true;
+        if (!claimed.empty()) {
+          order_base = next_order_;
+          next_order_ += claimed.size();
+          stats_->RecordConsumedBatch(claimed.size());
         }
+      }
+      if (!claimed.empty()) {
+        std::vector<Item> results;
+        results.reserve(claimed.size());
+        {
+          std::optional<CpuAccountingScope> scope;
+          if (ctx_->tracing_enabled) scope.emplace(stats_);
+          for (size_t i = 0; i < claimed.size(); ++i) {
+            Element result = ExecuteMapUdf(
+                *udf_, claimed[i], ctx_->cpu_scale,
+                SplitMix64(seed_ ^ claimed[i].sequence), ctx_->work_model);
+            results.push_back(
+                Item{order_base + i, std::move(result), OkStatus(), false});
+          }
+        }
+        if (!queue_.PushBatch(std::move(results))) break;  // cancelled
       }
       if (!status.ok()) {
         queue_.Push(Item{0, {}, status, false});
         break;
       }
       if (end) break;
-      Element result;
-      {
-        std::optional<CpuAccountingScope> scope;
-        if (ctx_->tracing_enabled) scope.emplace(stats_);
-        result = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
-                               SplitMix64(seed_ ^ in.sequence),
-                               ctx_->work_model);
-      }
-      if (!queue_.Push(Item{order, std::move(result), OkStatus(), false})) {
-        break;  // cancelled
-      }
     }
     if (active_workers_.fetch_sub(1) == 1) {
       queue_.Push(Item{~0ULL, {}, OkStatus(), true});
@@ -207,10 +225,12 @@ class ParallelMapIterator : public IteratorBase {
   uint64_t next_order_ = 0;
 
   BoundedQueue<Item> queue_;
+  const size_t batch_size_;
   std::atomic<int> active_workers_{0};
   std::vector<std::thread> workers_;
 
   // Consumer-side state (accessed only from GetNext).
+  BatchedQueueConsumer<Item> consumer_;
   std::map<uint64_t, Element> pending_;
   uint64_t expected_ = 0;
   bool end_received_ = false;

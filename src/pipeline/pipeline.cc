@@ -1,5 +1,7 @@
 #include "src/pipeline/pipeline.h"
 
+#include <algorithm>
+
 namespace plumber {
 
 Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
@@ -12,6 +14,7 @@ Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
   ctx_.seed = options.seed;
   ctx_.tracing_enabled = options.tracing_enabled;
   ctx_.memory_budget_bytes = options.memory_budget_bytes;
+  ctx_.engine_batch_size = std::max(1, options.engine_batch_size);
 }
 
 StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(

@@ -23,6 +23,10 @@ struct PipelineOptions {
   uint64_t seed = 42;
   bool tracing_enabled = true;
   uint64_t memory_budget_bytes = 0;
+  // Elements parallel operators claim/hand off per lock acquisition.
+  // 1 = element-at-a-time (identical to the pre-batching engine);
+  // see PipelineContext::engine_batch_size.
+  int engine_batch_size = 1;
 };
 
 class Pipeline {

@@ -1,6 +1,8 @@
 // Grouping and buffering operators: batch, prefetch, cache.
+#include <algorithm>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "src/pipeline/ops.h"
 #include "src/util/bounded_queue.h"
@@ -39,19 +41,28 @@ class BatchIterator : public IteratorBase {
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
     out->components.clear();
-    int64_t gathered = 0;
-    for (; gathered < batch_size_; ++gathered) {
-      Element in;
-      bool in_end = false;
-      RETURN_IF_ERROR(input_->GetNext(&in, &in_end));
-      if (in_end) break;
-      stats_->RecordConsumed();
-      if (gathered == 0) out->sequence = in.sequence;
-      for (auto& c : in.components) out->components.push_back(std::move(c));
+    // Claim from the child in engine-batch chunks: one child call (one
+    // lock/scope) per chunk instead of per element. Chunk size 1 is
+    // the classic per-element pull.
+    const size_t chunk =
+        static_cast<size_t>(std::max(1, ctx_->engine_batch_size));
+    std::vector<Element> claimed;
+    claimed.reserve(static_cast<size_t>(batch_size_));
+    bool in_end = false;
+    while (static_cast<int64_t>(claimed.size()) < batch_size_ && !in_end) {
+      const size_t want =
+          std::min(chunk, static_cast<size_t>(batch_size_) - claimed.size());
+      RETURN_IF_ERROR(input_->GetNextBatch(&claimed, want, &in_end));
     }
+    if (!claimed.empty()) stats_->RecordConsumedBatch(claimed.size());
+    const int64_t gathered = static_cast<int64_t>(claimed.size());
     if (gathered == 0 || (drop_remainder_ && gathered < batch_size_)) {
       *end = true;
       return OkStatus();
+    }
+    out->sequence = claimed.front().sequence;
+    for (Element& in : claimed) {
+      for (auto& c : in.components) out->components.push_back(std::move(c));
     }
     *end = false;
     return OkStatus();
@@ -90,7 +101,16 @@ class PrefetchIterator : public IteratorBase {
   PrefetchIterator(PipelineContext* ctx, IteratorStats* stats,
                    std::unique_ptr<IteratorBase> input, size_t buffer_size)
       : IteratorBase(ctx, stats), input_(std::move(input)),
-        queue_(buffer_size) {
+        queue_(buffer_size),
+        // Clamped to the prefetch depth. Note batching widens the
+        // look-ahead bound: besides the buffer_size elements in the
+        // queue, up to one claimed batch sits in the fill thread and
+        // one drained batch in the consumer's local buffer — at most
+        // ~3x buffer_size elements materialized ahead, vs the classic
+        // engine's buffer_size + 1.
+        batch_size_(
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
+        consumer_(&queue_, batch_size_) {
     stats_->SetParallelism(static_cast<int>(buffer_size));
     thread_ = std::thread([this] { FillLoop(); });
   }
@@ -102,21 +122,25 @@ class PrefetchIterator : public IteratorBase {
 
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
-    auto item = queue_.Pop();
-    stats_->RecordQueueEmptyFraction(queue_.EmptyPopFraction());
-    if (!item.has_value()) {  // cancelled before any sentinel
+    if (consumer_.NeedsRefill()) {
+      const bool ok = consumer_.Refill();
+      stats_->RecordQueueEmptyFraction(queue_.EmptyPopFraction());
+      if (!ok) {  // cancelled before any sentinel
+        *end = true;
+        return OkStatus();
+      }
+    }
+    Item item;
+    consumer_.Take(&item);
+    if (!item.status.ok()) {
+      *end = true;
+      return item.status;
+    }
+    if (item.end) {
       *end = true;
       return OkStatus();
     }
-    if (!item->status.ok()) {
-      *end = true;
-      return item->status;
-    }
-    if (item->end) {
-      *end = true;
-      return OkStatus();
-    }
-    *out = std::move(item->element);
+    *out = std::move(item.element);
     *end = false;
     return OkStatus();
   }
@@ -131,24 +155,35 @@ class PrefetchIterator : public IteratorBase {
   void FillLoop() {
     for (;;) {
       if (ctx_->is_cancelled()) return;
-      Element in;
+      std::vector<Element> claimed;
+      claimed.reserve(batch_size_);
       bool end = false;
-      Status status = input_->GetNext(&in, &end);
-      stats_->RecordConsumed();
+      Status status = input_->GetNextBatch(&claimed, batch_size_, &end);
+      if (!claimed.empty()) stats_->RecordConsumedBatch(claimed.size());
+      std::vector<Item> items;
+      items.reserve(claimed.size() + 1);
+      for (Element& in : claimed) {
+        items.push_back(Item{std::move(in), OkStatus(), false});
+      }
       if (!status.ok()) {
-        queue_.Push(Item{{}, status, false});
+        items.push_back(Item{{}, status, false});
+        queue_.PushBatch(std::move(items));
         return;
       }
       if (end) {
-        queue_.Push(Item{{}, OkStatus(), true});
+        items.push_back(Item{{}, OkStatus(), true});
+        queue_.PushBatch(std::move(items));
         return;
       }
-      if (!queue_.Push(Item{std::move(in), OkStatus(), false})) return;
+      if (!queue_.PushBatch(std::move(items))) return;
     }
   }
 
   std::unique_ptr<IteratorBase> input_;
   BoundedQueue<Item> queue_;
+  const size_t batch_size_;
+  // Consumer-side batch buffer (accessed only from GetNext).
+  BatchedQueueConsumer<Item> consumer_;
   std::thread thread_;
 };
 

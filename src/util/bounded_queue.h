@@ -3,13 +3,20 @@
 // Used by Prefetch and ParallelMap iterators. Supports cancellation so
 // iterator destruction can unblock worker threads, and tracks simple
 // occupancy statistics used by the prefetch planner (idleness signal).
+//
+// Besides the classic one-item Push/Pop, the queue moves whole element
+// batches per lock acquisition (PushBatch/PopBatch) — the engine's
+// batched execution mode, where per-element mutex traffic would
+// otherwise dominate cheap UDF work at high parallelism.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/util/cpu_timer.h"
 
@@ -77,6 +84,70 @@ class BoundedQueue {
     return item;
   }
 
+  // Pushes every item in `items`, taking the lock once per capacity
+  // window instead of once per element. Blocks while full. Returns
+  // false if cancelled (remaining items are dropped, matching Push).
+  bool PushBatch(std::vector<T> items) {
+    if (items.empty()) return !cancelled();
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t offset = 0;
+    while (offset < items.size()) {
+      if (!cancelled_ && items_.size() >= capacity_) {
+        BlockedRegion blocked;  // producer stall: not CPU work
+        not_full_.wait(lock,
+                       [&] { return cancelled_ || items_.size() < capacity_; });
+      }
+      if (cancelled_) return false;
+      const size_t n =
+          std::min(items.size() - offset, capacity_ - items_.size());
+      for (size_t i = 0; i < n; ++i) {
+        items_.push_back(std::move(items[offset + i]));
+      }
+      offset += n;
+      total_pushed_ += n;
+      occupancy_sum_ += items_.size();
+      ++occupancy_samples_;
+      // n items can unblock up to n consumers; notify_one would strand
+      // all but one of them until the next push.
+      if (n > 1) {
+        not_empty_.notify_all();
+      } else {
+        not_empty_.notify_one();
+      }
+    }
+    return true;
+  }
+
+  // Pops up to `max_items` in one lock acquisition, appending to *out.
+  // Blocks until at least one item is available or the queue is
+  // cancelled and drained; returns the number of items appended (0 only
+  // on cancellation with an empty queue).
+  size_t PopBatch(size_t max_items, std::vector<T>* out) {
+    if (max_items == 0) return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool was_empty = items_.empty();
+    if (was_empty && !cancelled_) {
+      BlockedRegion blocked;  // consumer stall: not CPU work
+      not_empty_.wait(lock, [&] { return cancelled_ || !items_.empty(); });
+    }
+    const size_t n = std::min(max_items, items_.size());
+    // EmptyPopFraction's denominator counts elements, so a stalled
+    // batch claim must count every element it delayed — one tick per
+    // batch would understate starvation by the batch size.
+    if (was_empty) empty_pops_ += n > 0 ? n : 1;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    // n freed slots can unblock up to n producers.
+    if (n > 1) {
+      not_full_.notify_all();
+    } else if (n == 1) {
+      not_full_.notify_one();
+    }
+    return n;
+  }
+
   // Unblocks all waiters; subsequent pushes fail, pops drain remaining
   // items then return nullopt.
   void Cancel() {
@@ -124,6 +195,48 @@ class BoundedQueue {
   uint64_t empty_pops_ = 0;
   uint64_t occupancy_sum_ = 0;
   uint64_t occupancy_samples_ = 0;
+};
+
+// Clamps an engine batch-size request to a queue's capacity (and to a
+// minimum of one element).
+inline size_t ClampBatchToCapacity(int requested, size_t capacity) {
+  return std::min(static_cast<size_t>(requested < 1 ? 1 : requested),
+                  capacity);
+}
+
+// Consumer-side batch drainer: pops whole batches off a BoundedQueue
+// and serves them one item at a time, keeping the queue lock off the
+// per-element path. Single-consumer (the GetNext thread).
+template <typename T>
+class BatchedQueueConsumer {
+ public:
+  BatchedQueueConsumer(BoundedQueue<T>* queue, size_t batch_size)
+      : queue_(queue), batch_size_(batch_size) {}
+
+  bool NeedsRefill() const { return pos_ >= local_.size(); }
+
+  // Blocks for the next batch; false when cancelled and drained.
+  bool Refill() {
+    local_.clear();
+    pos_ = 0;
+    return queue_->PopBatch(batch_size_, &local_) != 0;
+  }
+
+  // Precondition: !NeedsRefill().
+  void Take(T* out) { *out = std::move(local_[pos_++]); }
+
+  // Serves the next item; false when the queue is cancelled and empty.
+  bool Next(T* out) {
+    if (NeedsRefill() && !Refill()) return false;
+    Take(out);
+    return true;
+  }
+
+ private:
+  BoundedQueue<T>* queue_;
+  const size_t batch_size_;
+  std::vector<T> local_;
+  size_t pos_ = 0;
 };
 
 }  // namespace plumber

