@@ -1,18 +1,28 @@
 // Ablation: what each optimizer pass contributes.
 //
-// DESIGN.md calls out three design choices in the Plumber optimizer —
-// LP parallelism, prefetch injection, and cache insertion — that the
-// paper motivates separately (§4.1, §4.3). This bench measures the
-// end-to-end rate of resnet18 and multibox_ssd with passes enabled
-// cumulatively, plus two LP ablations:
-//   - "local" allocation instead of the LP (the paper's Fig. 7 baseline
-//     that chases one bottleneck at a time),
-//   - cache placement by greedy chain rule vs. LP re-solve enumeration.
+// The pass framework makes this sweep self-maintaining: instead of
+// bespoke enable_* flag combinations, the bench asks
+// PassRegistry::Global() for the canonical pass order and measures the
+// end-to-end rate of resnet18 and multibox_ssd under cumulative
+// schedules — naive, then each registered pass added in turn (the cache
+// step also appends the default trailing re-parallelism so the LP can
+// redistribute the cores a cache frees), plus the LP-enumerated cache
+// placement variant. A pass registered tomorrow joins the ablation
+// without touching this file.
+//
+// Emits BENCH_METRIC lines for the CI regression gate: absolute mb/s
+// per schedule plus speedup-vs-naive ratios (the `_rel` metrics, which
+// compare across host classes), and the host's spin calibration rate so
+// the gate can normalize absolute rates across hosts.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/passes/pass_registry.h"
+#include "src/util/busy_work.h"
 #include "src/workloads/datagen.h"
 
 using namespace plumber;
@@ -20,32 +30,54 @@ using namespace plumber::bench;
 
 namespace {
 
-struct PassConfig {
-  const char* label;
-  bool parallelism;
-  bool prefetch;
-  bool cache;
-  bool enumerate_caches;
+struct AblationConfig {
+  std::string label;     // table row label
+  std::string key;       // BENCH_METRIC key component
+  std::string schedule;  // "" = no optimization (naive)
+  bool enumerate_caches = false;
 };
 
-double MeasureConfig(const Workload& workload, const MachineSpec& machine,
-                     const PassConfig& config) {
-  Session session = MakeWorkloadSession(machine, workload.storage);
-  OptimizeOptions options;
-  options.trace_seconds = 0.25;
-  options.evaluate_warmup_seconds = 0.8;
-  options.enable_parallelism = config.parallelism;
-  options.enable_prefetch = config.prefetch;
-  options.enable_cache = config.cache;
-  options.enumerate_caches = config.enumerate_caches;
-  options.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
-  auto result = session.FromGraph(NaiveConfiguration(workload.graph))
-                    .Optimize(options);
-  if (!result.ok()) return 0;
+std::vector<AblationConfig> RegistrySchedules() {
+  std::vector<AblationConfig> configs;
+  configs.push_back({"none (naive)", "naive", ""});
+  std::vector<std::string> cumulative;
+  for (const std::string& name : PassRegistry::Global().Names()) {
+    cumulative.push_back(name);
+    // A pass's declared follow-up joins its cumulative step (cache
+    // pulls in the re-parallelism of the default schedule).
+    auto pass = PassRegistry::Global().Create(name);
+    if (pass.ok() && (*pass)->followup() != nullptr) {
+      cumulative.push_back((*pass)->followup());
+    }
+    configs.push_back({"+" + name, "cum_" + name, JoinPassNames(cumulative)});
+  }
+  configs.push_back({"+cache (LP enumeration)", "cache_enum",
+                     kDefaultPassSchedule, /*enumerate_caches=*/true});
+  return configs;
+}
 
+double MeasureConfig(const Workload& workload, const MachineSpec& machine,
+                     const AblationConfig& config) {
+  GraphDef graph = NaiveConfiguration(workload.graph);
+  if (!config.schedule.empty()) {
+    Session session = MakeWorkloadSession(machine, workload.storage);
+    OptimizeOptions options;
+    options.trace_seconds = 0.25;
+    options.evaluate_warmup_seconds = 0.8;
+    options.enumerate_caches = config.enumerate_caches;
+    options.lp_options.disk_bandwidth = workload.storage.max_bandwidth;
+    auto result = session.FromGraph(graph).OptimizeWith(config.schedule,
+                                                        options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "optimize(%s) failed: %s\n",
+                   config.schedule.c_str(),
+                   result.status().ToString().c_str());
+      return 0;
+    }
+    graph = std::move(result->Graph()).value();
+  }
   Session fresh = MakeWorkloadSession(machine, workload.storage);
-  return MeasureRate(fresh, std::move(result->Graph()).value(), 0.8,
-                     workload.ModelStepSeconds(), 1.6);
+  return MeasureRate(fresh, graph, 0.8, workload.ModelStepSeconds(), 1.6);
 }
 
 void RunWorkloadAblation(const std::string& name, int cores) {
@@ -54,20 +86,19 @@ void RunWorkloadAblation(const std::string& name, int cores) {
   MachineSpec machine = MachineSpec::SetupC(kMemoryScale);
   machine.num_cores = cores;
 
-  const PassConfig configs[] = {
-      {"none (naive)", false, false, false, false},
-      {"+LP parallelism", true, false, false, false},
-      {"+prefetch", true, true, false, false},
-      {"+cache (greedy)", true, true, true, false},
-      {"+cache (LP enumeration)", true, true, true, true},
-  };
-  Table table({"passes", "mb/s", "vs naive"});
+  Table table({"schedule", "mb/s", "vs naive"});
   double naive_rate = 0;
-  for (const PassConfig& config : configs) {
+  for (const AblationConfig& config : RegistrySchedules()) {
     const double rate = MeasureConfig(workload, machine, config);
     if (naive_rate == 0) naive_rate = rate > 0 ? rate : 1;
     table.AddRow({config.label, Table::Num(rate, 1),
                   Table::Num(rate / naive_rate, 2) + "x"});
+    std::printf("BENCH_METRIC ablation.%s.%s_mbps %.4f\n", name.c_str(),
+                config.key.c_str(), rate);
+    if (config.key != "naive") {
+      std::printf("BENCH_METRIC ablation.%s.%s_rel %.4f\n", name.c_str(),
+                  config.key.c_str(), rate / naive_rate);
+    }
     std::fflush(stdout);
   }
   table.Print();
@@ -76,6 +107,10 @@ void RunWorkloadAblation(const std::string& name, int cores) {
 }  // namespace
 
 int main() {
+  // Host speed signal for cross-host baseline normalization (see
+  // scripts/check_bench_regression.py; excluded from gating itself).
+  std::printf("BENCH_METRIC host_spin_rounds_per_ns %.6f\n",
+              SpinRoundsPerNano());
   const int cores = std::min(
       96, static_cast<int>(std::thread::hardware_concurrency()));
   RunWorkloadAblation("resnet18", cores);
@@ -83,7 +118,9 @@ int main() {
   std::printf(
       "\nExpected shape: LP parallelism provides the bulk of the win over\n"
       "naive; prefetch adds overlap; caching lifts the pipeline past the\n"
-      "I/O bound (paper Fig. 10). Greedy and LP-enumerated cache placement\n"
-      "agree on these linear pipelines (paper 4.3 'greedy yet optimal').\n");
+      "I/O bound (paper Fig. 10); engine-batch autotuning only moves\n"
+      "pipelines whose parallel stages are engine-overhead-bound. Greedy\n"
+      "and LP-enumerated cache placement agree on these linear pipelines\n"
+      "(paper 4.3 'greedy yet optimal').\n");
   return 0;
 }

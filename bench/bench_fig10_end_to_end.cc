@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "src/util/busy_work.h"
 #include "src/workloads/datagen.h"
 
 using namespace plumber;
@@ -87,6 +88,10 @@ Row RunWorkload(const std::string& name, int num_cores) {
 }  // namespace
 
 int main() {
+  // Host speed signal for cross-host baseline normalization (see
+  // scripts/check_bench_regression.py; excluded from gating itself).
+  std::printf("BENCH_METRIC host_spin_rounds_per_ns %.6f\n",
+              SpinRoundsPerNano());
   PrintHeader("Figure 10 / Figure 12: end-to-end on Setup C (TPUv3-8 host)");
   // Setup C has 96 cores; we emulate it with the host's core budget so
   // the HEURISTIC policy ("parallelism = machine cores") means the same

@@ -159,6 +159,11 @@ void BM_BurnCalibration(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(BurnCpuNanos(ns));
   }
+  // Host speed signal: the calibrated spin rate is proportional to
+  // single-core throughput, so the CI regression gate divides absolute
+  // items/s by it to compare baselines across dev- and CI-class hosts
+  // (see scripts/check_bench_regression.py).
+  state.counters["spin_rounds_per_ns"] = SpinRoundsPerNano();
 }
 BENCHMARK(BM_BurnCalibration)->Arg(1000)->Arg(10000)->Arg(100000);
 

@@ -13,11 +13,27 @@ Two JSON shapes are understood:
     object (scraped from BENCH_METRIC stdout lines) is used verbatim.
 All metrics are higher-is-better throughputs.
 
-When the current host's core count differs from the baseline's
-(recorded as google-benchmark context.num_cpus / wrapper host_cores),
-only relative metrics (*_rel) are gated — absolute throughputs do not
-compare across machine shapes. Re-bless baselines from the CI host
-class to gate everything.
+Two portability mechanisms, by what differs between the hosts:
+
+* Different core count (google-benchmark context.num_cpus / wrapper
+  host_cores): parallel throughputs scale with cores, so no scalar
+  normalizer applies — only relative metrics (*_rel) are gated.
+  Re-bless baselines from the CI host class to gate absolutes.
+* Same core count, google-benchmark micro benches only, both runs
+  carrying the calibrated spin rate (BM_BurnCalibration's
+  spin_rounds_per_ns counter), rates differing by more than the
+  calibration noise band: absolute throughputs are gated through
+  derived *_norm_rel metrics (rate / spin rate), which cancel
+  clock-speed differences between dev- and CI-class hosts of the same
+  shape. The raw absolutes still print in the delta table but do not
+  gate. Rates within the noise band mean the same host class, where
+  raw gating is valid and noise-free. Wrapper benches (fig10,
+  ablation) are deliberately NOT normalized: their UDF cost executes
+  as timed occupancy of a modeled machine (kTimed, see
+  src/pipeline/udf.h), so their rates are largely host-clock-
+  independent and dividing by the spin rate would introduce the very
+  skew it removes elsewhere; they record host_spin_rounds_per_ns for
+  context only.
 
 Usage:
   check_bench_regression.py [--baseline-dir bench/baselines]
@@ -39,7 +55,21 @@ import os
 import shutil
 import sys
 
-DEFAULT_BENCHES = ["bench_micro_engine", "bench_fig10_end_to_end"]
+DEFAULT_BENCHES = [
+    "bench_micro_engine",
+    "bench_fig10_end_to_end",
+    "bench_ablation_passes",
+]
+
+# Wrapper-bench metric carrying the host's calibrated spin rate; it is
+# a speed signal, not a throughput, so it is never gated itself.
+HOST_SPEED_METRIC = "host_spin_rounds_per_ns"
+
+# Spin rates within this fraction of each other are "the same host
+# class": the calibration jitters a few percent between runs on the
+# identical machine, so normalizing inside the band would add noise to
+# every gated delta instead of removing a clock difference.
+SPEED_NOISE_BAND = 0.10
 
 
 def add_derived_ratios(metrics):
@@ -68,17 +98,26 @@ def add_derived_ratios(metrics):
 
 
 def load_metrics(path):
-    """Returns ({metric_name: value}, host_cores or None) for one
-    BENCH_*.json file."""
+    """Returns ({metric_name: value}, host_cores or None, host_speed or
+    None) for one BENCH_*.json file. host_speed is the calibrated spin
+    rate (rounds/ns) — only returned for google-benchmark files, whose
+    workloads burn real CPU and therefore scale with it; wrapper-bench
+    rates are kTimed-simulated (host-clock-independent), so their
+    recorded spin rate is context, not a normalizer."""
     with open(path) as f:
         data = json.load(f)
     metrics = {}
     cores = None
+    speed = None
     if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
         cores = data.get("context", {}).get("num_cpus")
         for bench in data["benchmarks"]:
             if bench.get("run_type") == "aggregate":
                 continue
+            # Custom counters land as top-level keys of the entry.
+            if bench["name"].startswith("BM_BurnCalibration"):
+                if bench.get("spin_rounds_per_ns"):
+                    speed = float(bench["spin_rounds_per_ns"])
             rate = bench.get("items_per_second")
             if rate:
                 metrics[bench["name"]] = float(rate)
@@ -86,8 +125,28 @@ def load_metrics(path):
     elif isinstance(data, dict):
         cores = data.get("host_cores")
         for name, value in data.get("metrics", {}).items():
+            if name == HOST_SPEED_METRIC:
+                continue  # context only, never gated or normalized by
             metrics[name] = float(value)
-    return metrics, cores
+    return metrics, cores, speed
+
+
+def add_speed_normalized(base, cur, base_speed, cur_speed):
+    """Adds <name>_norm_rel = value / host_speed for every absolute
+    metric present in both runs, and returns the set of raw names that
+    were normalized (the gate skips those in favor of their derived
+    twins). Rate-per-spin-round cancels clock-speed differences between
+    same-shape hosts; it does NOT correct for core-count differences
+    (parallel throughputs scale with cores), so callers only invoke
+    this when the two runs' core counts match."""
+    normalized = set()
+    for name in list(base):
+        if is_portable(name) or name not in cur:
+            continue
+        base[f"{name}_norm_rel"] = base[name] / base_speed
+        cur[f"{name}_norm_rel"] = cur[name] / cur_speed
+        normalized.add(name)
+    return normalized
 
 
 def is_portable(name):
@@ -145,13 +204,18 @@ def main():
         if not os.path.exists(cur_path):
             missing_current.append(bench)
             continue
-        base, base_cores = load_metrics(base_path)
-        cur, cur_cores = load_metrics(cur_path)
+        base, base_cores, base_speed = load_metrics(base_path)
+        cur, cur_cores, cur_speed = load_metrics(cur_path)
         # Baselines from a different machine shape: absolute throughputs
-        # are incomparable, so gate only the relative (ratio) metrics
-        # until someone re-blesses baselines from this host class.
+        # are incomparable (parallel stages scale with cores; no scalar
+        # normalizer fixes that), so gate only the relative (ratio)
+        # metrics until someone re-blesses baselines from this host
+        # class. For same-shape hosts with a speed signal in both runs,
+        # gate absolutes through their spin-rate-normalized twins so a
+        # slower-clocked CI host doesn't fail on dev-host baselines.
         cross_host = (base_cores is not None and cur_cores is not None
                       and base_cores != cur_cores)
+        ungated = set()
         if cross_host:
             skipped = [n for n in base if not is_portable(n)]
             if skipped:
@@ -160,11 +224,25 @@ def main():
                       f"relative metrics ({len(skipped)} absolute metrics "
                       "not compared — re-bless baselines on this host "
                       "class to gate them)")
+        elif (base_speed and cur_speed
+              and abs(cur_speed - base_speed) > SPEED_NOISE_BAND * base_speed):
+            # Only switch to normalized gating for a genuine clock-class
+            # difference: the spin calibration itself jitters a few
+            # percent between runs on the identical host, and dividing
+            # by it would inject that noise into every gated delta.
+            # Within the band, raw gating is both valid and noise-free.
+            ungated = add_speed_normalized(base, cur, base_speed, cur_speed)
+            if ungated:
+                print(f"NOTE {bench}: host spin rate differs from the "
+                      f"baseline's ({base_speed:.4g} vs {cur_speed:.4g} "
+                      f"rounds/ns); gating {len(ungated)} absolute metrics "
+                      "through their spin-rate-normalized *_norm_rel "
+                      "twins (raw values shown, not gated)")
         for name in sorted(base):
             if cross_host and not is_portable(name):
                 continue
             if name not in cur:
-                rows.append((f"{bench}:{name}", base[name], None, None))
+                rows.append((f"{bench}:{name}", base[name], None, None, ""))
                 # A different machine shape can legitimately drop whole
                 # configs (e.g. the half-core fig10 run on a 1-core
                 # host), so a missing metric is a warning, not a
@@ -174,23 +252,26 @@ def main():
             if base[name] <= 0:
                 continue
             delta = (cur[name] - base[name]) / base[name]
-            rows.append((f"{bench}:{name}", base[name], cur[name], delta))
+            gated = name not in ungated
+            flag = ""
             if delta < -args.threshold:
+                flag = "  <-- REGRESSION" if gated else "  (not gated)"
+            rows.append((f"{bench}:{name}", base[name], cur[name], delta,
+                         flag))
+            if gated and delta < -args.threshold:
                 failures.append(
                     f"{bench}:{name} dropped {-delta:.1%} "
                     f"({base[name]:.4g} -> {cur[name]:.4g})")
         for name in sorted(set(cur) - set(base)):
-            rows.append((f"{bench}:{name}", None, cur[name], None))
+            rows.append((f"{bench}:{name}", None, cur[name], None, ""))
 
     if rows:
         name_w = max(len(r[0]) for r in rows)
         fmt = lambda v: f"{v:14.4g}" if v is not None else f"{'-':>14}"
         print(f"\n{'metric':<{name_w}} {'baseline':>14} {'current':>14} "
               f"{'delta':>8}")
-        for name, base, cur, delta in rows:
+        for name, base, cur, delta, flag in rows:
             d = f"{delta:+8.1%}" if delta is not None else f"{'-':>8}"
-            flag = "  <-- REGRESSION" if (
-                delta is not None and delta < -args.threshold) else ""
             print(f"{name:<{name_w}} {fmt(base)} {fmt(cur)} {d}{flag}")
         print()
 

@@ -293,6 +293,8 @@ StatusOr<RunReport> Flow::Run(const RunOptions& options) const {
   ASSIGN_OR_RETURN(GraphDef graph, Graph());
   PipelineOptions popts = internal::MakePipelineOptions(*state_);
   if (options.engine_batch_size > 0) {
+    // Explicit per-run override: wins over both the session value and
+    // any graph-recorded batch size at instantiation.
     popts.engine_batch_size = options.engine_batch_size;
   }
   ASSIGN_OR_RETURN(auto pipeline,
@@ -314,20 +316,35 @@ StatusOr<RunReport> Flow::Run(const RunOptions& options) const {
   return MakeReport(*pipeline, result, tip_);
 }
 
+OptimizedFlow Flow::MakeOptimizedFlow(
+    std::shared_ptr<internal::SessionState> state, OptimizeResult result) {
+  OptimizedFlow out;
+  out.flow = Flow(std::move(state), result.graph, result.graph.output());
+  out.plan = std::move(result.plan);
+  out.cache = std::move(result.cache);
+  out.prefetch = std::move(result.prefetch);
+  out.traced_rate = result.traced_rate;
+  out.pass_reports = std::move(result.pass_reports);
+  out.log = std::move(result.log);
+  out.picked_variant = result.picked_variant;
+  return out;
+}
+
 StatusOr<OptimizedFlow> Flow::Optimize(OptimizeOptions options) const {
   ASSIGN_OR_RETURN(GraphDef graph, Graph());
   internal::ApplyEnvironment(*state_, &options);
   PlumberOptimizer optimizer(std::move(options));
   ASSIGN_OR_RETURN(OptimizeResult result, optimizer.Optimize(graph));
-  OptimizedFlow out;
-  out.flow = Flow(state_, result.graph, result.graph.output());
-  out.plan = std::move(result.plan);
-  out.cache = std::move(result.cache);
-  out.prefetch = std::move(result.prefetch);
-  out.traced_rate = result.traced_rate;
-  out.log = std::move(result.log);
-  out.picked_variant = result.picked_variant;
-  return out;
+  return MakeOptimizedFlow(state_, std::move(result));
+}
+
+StatusOr<OptimizedFlow> Flow::OptimizeWith(const std::string& schedule,
+                                           OptimizeOptions options) const {
+  // An explicitly passed empty schedule means "run no passes" (trace
+  // only), not "fall back to the legacy-knob derivation" — callers
+  // sweeping schedule strings expect "" to be the no-op baseline.
+  options.schedule = schedule.empty() ? "none" : schedule;
+  return Optimize(std::move(options));
 }
 
 StatusOr<TraceSnapshot> Flow::Trace(double trace_seconds) const {

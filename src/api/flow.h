@@ -109,8 +109,16 @@ class Flow {
   // Hands the pipeline to the Plumber optimizer. The Session is the
   // source of truth for the environment: machine, fs, udfs, seed, and
   // work model in `options` are overwritten from it; pass only tuning
-  // knobs (trace windows, passes, lp_options, enable_* switches).
+  // knobs (trace windows, schedule, lp_options, enable_* switches).
   StatusOr<OptimizedFlow> Optimize(OptimizeOptions options = {}) const;
+
+  // Optimize with an explicit pass schedule, e.g.
+  // "parallelism,prefetch,cache,parallelism,batch". Pass names resolve
+  // through PassRegistry::Global(); unknown names are InvalidArgument.
+  // An empty schedule runs no passes: the flow is traced once (so
+  // traced_rate is measured) and returned unchanged.
+  StatusOr<OptimizedFlow> OptimizeWith(const std::string& schedule,
+                                       OptimizeOptions options = {}) const;
 
   // Traces the pipeline for a bounded window (paper §4.1).
   StatusOr<TraceSnapshot> Trace(double trace_seconds = 0.3) const;
@@ -131,6 +139,11 @@ class Flow {
   // Session moves and may even outlive the Session object.
   Flow(std::shared_ptr<internal::SessionState> state, GraphDef graph,
        std::string tip);
+  // Wraps an optimizer result (from Optimize or PickBest) as an
+  // OptimizedFlow bound to `state` — the one place the field folding
+  // lives, shared by Flow::Optimize and Session::OptimizeBest.
+  static OptimizedFlow MakeOptimizedFlow(
+      std::shared_ptr<internal::SessionState> state, OptimizeResult result);
   // Appends a node (auto-named from def.op when def.name is empty) and
   // returns the extended flow. def.inputs must already be set.
   Flow Append(NodeDef def) const;
@@ -148,10 +161,13 @@ class Flow {
 // An optimized program plus the optimizer's decisions, ready to run.
 struct OptimizedFlow {
   Flow flow;                  // rewritten program, same Session
-  LpPlan plan;                // final-pass LP allocation
-  CacheDecision cache;        // cache decision (pass 1)
-  PrefetchDecision prefetch;  // prefetch decision (pass 1)
+  LpPlan plan;                // last parallelism pass's LP allocation
+  CacheDecision cache;        // last cache pass's decision
+  PrefetchDecision prefetch;  // last prefetch pass's decision
   double traced_rate = 0;     // observed rate in the final trace
+  // Per-pass reports in execution order (what each scheduled pass
+  // decided and whether it rewrote the graph).
+  std::vector<PassReport> pass_reports;
   std::vector<std::string> log;
   int picked_variant = 0;     // Session::OptimizeBest only
 

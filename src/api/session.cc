@@ -99,15 +99,7 @@ StatusOr<OptimizedFlow> Session::OptimizeBest(
   internal::ApplyEnvironment(*state_, &options);
   PlumberOptimizer optimizer(std::move(options));
   ASSIGN_OR_RETURN(OptimizeResult result, optimizer.PickBest(variants));
-  OptimizedFlow out;
-  out.flow = Flow(state_, result.graph, result.graph.output());
-  out.plan = std::move(result.plan);
-  out.cache = std::move(result.cache);
-  out.prefetch = std::move(result.prefetch);
-  out.traced_rate = result.traced_rate;
-  out.log = std::move(result.log);
-  out.picked_variant = result.picked_variant;
-  return out;
+  return Flow::MakeOptimizedFlow(state_, std::move(result));
 }
 
 }  // namespace plumber

@@ -40,10 +40,12 @@ struct SessionOptions {
   uint64_t memory_budget_bytes = 0;
   // Engine batch size for every pipeline built from this session: how
   // many elements parallel operators claim and hand off per lock
-  // acquisition. 1 = element-at-a-time (identical results, classic
-  // engine); larger amortizes queue/lock overhead for cheap UDFs.
+  // acquisition. 0 = unset: runs element-at-a-time, but the optimizer's
+  // "batch" pass may autotune it. 1 = explicitly element-at-a-time
+  // (identical results, classic engine; the batch pass respects it);
+  // larger amortizes queue/lock overhead for cheap UDFs.
   // RunOptions.engine_batch_size overrides per run.
-  int engine_batch_size = 1;
+  int engine_batch_size = 0;
 };
 
 namespace internal {

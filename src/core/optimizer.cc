@@ -1,6 +1,9 @@
 #include "src/core/optimizer.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "src/core/passes/pass_registry.h"
 
 namespace plumber {
 
@@ -17,6 +20,25 @@ PipelineOptions OptimizeOptions::MakePipelineOptions() const {
   return popts;
 }
 
+std::string OptimizeOptions::EffectiveSchedule() const {
+  if (schedule == "none") return "";  // explicitly empty: trace only
+  if (!schedule.empty()) return schedule;
+  // Legacy derivation: `passes` iterations of the original inline loop
+  // (parallelism every iteration; prefetch and cache on the first
+  // only). All knobs at their defaults yield kDefaultPassSchedule.
+  // Known deviation: with parallelism disabled and passes >= 2, the
+  // old loop's later iterations re-traced the rewritten graph (its
+  // only effect), so traced_rate reflected the rewrite; the derived
+  // schedule runs no trailing pass and reports the input's rate.
+  std::vector<std::string> derived;
+  for (int pass = 0; pass < std::max(1, passes); ++pass) {
+    if (enable_parallelism) derived.push_back("parallelism");
+    if (pass == 0 && enable_prefetch) derived.push_back("prefetch");
+    if (pass == 0 && enable_cache) derived.push_back("cache");
+  }
+  return JoinPassNames(derived);
+}
+
 PlumberOptimizer::PlumberOptimizer(OptimizeOptions options)
     : options_(std::move(options)) {}
 
@@ -27,68 +49,36 @@ StatusOr<std::unique_ptr<Pipeline>> PlumberOptimizer::MakePipeline(
 
 StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
     const GraphDef& input) const {
+  ASSIGN_OR_RETURN(PassSchedule schedule,
+                   PassSchedule::Parse(options_.EffectiveSchedule()));
+  OptimizationContext ctx(input, options_);
   OptimizeResult result;
-  result.graph = input;
-  for (int pass = 0; pass < std::max(1, options_.passes); ++pass) {
-    ASSIGN_OR_RETURN(auto pipeline, MakePipeline(result.graph));
-    TraceOptions topts;
-    topts.trace_seconds = options_.trace_seconds;
-    topts.machine = options_.machine;
-    if (rewriter::HasOp(result.graph, "cache")) {
-      // Re-tracing a pipeline that now contains a cache: fill briefly,
-      // then freeze the cache so the trace reflects steady state and
-      // the LP can redistribute the cores the cached subtree frees
-      // (paper §4.1 "Optimizer" / §B truncation trick).
-      topts.warmup_seconds = options_.cache_warmup_seconds;
-      topts.simulate_cache_steady_state = true;
+  result.pass_reports.reserve(schedule.passes().size());
+  for (const std::string& name : schedule.passes()) {
+    ASSIGN_OR_RETURN(std::unique_ptr<OptimizerPass> pass,
+                     PassRegistry::Global().Create(name));
+    ASSIGN_OR_RETURN(PassReport report, pass->Run(ctx));
+    // Fold the typed decisions into the flat result fields (last pass
+    // of each kind wins, matching the pre-framework optimizer where the
+    // final LP plan overwrote earlier ones).
+    if (name == "parallelism") result.plan = report.plan;
+    if (name == "prefetch") result.prefetch = report.prefetch;
+    if (name == "cache" &&
+        (report.cache.feasible || !report.cache.candidates.empty())) {
+      result.cache = report.cache;
     }
-    const TraceSnapshot trace = CaptureTrace(*pipeline, topts);
-    pipeline->Cancel();
-    ASSIGN_OR_RETURN(
-        PipelineModel model,
-        PipelineModel::Build(trace, options_.udfs));
-    result.traced_rate = model.observed_rate();
-
-    // Pass A: LP parallelism.
-    if (options_.enable_parallelism) {
-      result.plan = PlanAllocation(model, options_.lp_options);
-      RETURN_IF_ERROR(
-          rewriter::ApplyParallelismPlan(&result.graph, result.plan));
-      std::ostringstream os;
-      os << "pass " << pass << ": lp rate=" << result.plan.predicted_rate
-         << " bottleneck=" << result.plan.bottleneck;
-      result.log.push_back(os.str());
-    }
-
-    // Pass B: prefetch injection (first pass only; idempotent anyway).
-    if (options_.enable_prefetch && pass == 0) {
-      result.prefetch = PlanPrefetch(model);
-      RETURN_IF_ERROR(rewriter::EnsureRootPrefetch(
-          &result.graph, result.prefetch.root_buffer));
-      result.log.push_back("prefetch buffer=" +
-                           std::to_string(result.prefetch.root_buffer));
-    }
-
-    // Pass C: cache insertion (once; re-tracing after caching lets the
-    // next LP pass redistribute the freed cores).
-    if (options_.enable_cache && pass == 0 &&
-        !rewriter::HasOp(result.graph, "cache")) {
-      CachePlanOptions copts;
-      copts.memory_bytes = options_.machine.memory_bytes;
-      result.cache = options_.enumerate_caches
-                         ? PlanCacheByEnumeration(model, copts,
-                                                  options_.lp_options)
-                         : PlanCache(model, copts);
-      if (result.cache.feasible) {
-        RETURN_IF_ERROR(
-            rewriter::InjectCache(&result.graph, result.cache.node)
-                .status());
-        result.log.push_back("cache after " + result.cache.node + " (" +
-                             std::to_string(result.cache.materialized_bytes) +
-                             " bytes)");
-      }
-    }
+    result.log.push_back(report.pass + ": " + report.summary);
+    result.pass_reports.push_back(std::move(report));
   }
+  if (!ctx.has_model()) {
+    // Nothing in the schedule consulted a model (e.g. empty schedule /
+    // all legacy knobs disabled): still trace once so traced_rate
+    // reports the input's observed rate, as the pre-framework
+    // optimizer did with every pass disabled.
+    RETURN_IF_ERROR(ctx.LatestModel().status());
+  }
+  result.graph = std::move(ctx.graph());
+  result.traced_rate = ctx.last_traced_rate();
   return result;
 }
 
@@ -97,14 +87,39 @@ StatusOr<OptimizeResult> PlumberOptimizer::PickBest(
   if (variants.empty()) return InvalidArgumentError("no variants");
   StatusOr<OptimizeResult> best = InvalidArgumentError("unset");
   double best_rate = -1;
+  // Failed variants are recorded, not silently skipped: the winner's
+  // log carries every failure, and if nothing survives the error below
+  // names each variant's failure instead of a generic "none worked".
+  std::vector<std::string> failures;
+  Status richest = OkStatus();
+  const auto record_failure = [&](size_t variant, const char* stage,
+                                  const Status& status) {
+    failures.push_back("variant " + std::to_string(variant) + " " + stage +
+                       " failed: " + status.ToString());
+    // Keep the most informative status for the all-failed error: the
+    // one with the longest message (ties: first seen).
+    if (richest.ok() ||
+        status.message().size() > richest.message().size()) {
+      richest = status;
+    }
+  };
   for (size_t i = 0; i < variants.size(); ++i) {
     auto result_or = Optimize(variants[i]);
-    if (!result_or.ok()) continue;
+    if (!result_or.ok()) {
+      record_failure(i, "optimize", result_or.status());
+      continue;
+    }
     // Evaluate the optimized variant under a benchmark run.
     auto pipeline_or = MakePipeline(result_or->graph);
-    if (!pipeline_or.ok()) continue;
+    if (!pipeline_or.ok()) {
+      record_failure(i, "instantiation", pipeline_or.status());
+      continue;
+    }
     auto iterator_or = (*pipeline_or)->MakeIterator();
-    if (!iterator_or.ok()) continue;
+    if (!iterator_or.ok()) {
+      record_failure(i, "iterator creation", iterator_or.status());
+      continue;
+    }
     auto iterator = std::move(iterator_or).value();
     if (options_.evaluate_warmup_seconds > 0) {
       // Warm any injected cache on the same iterator tree, then freeze
@@ -125,7 +140,16 @@ StatusOr<OptimizeResult> PlumberOptimizer::PickBest(
       best = std::move(result_or);
     }
   }
-  if (!best.ok()) return InternalError("no variant optimized successfully");
+  if (!best.ok()) {
+    std::ostringstream os;
+    os << "all " << variants.size() << " variants failed to optimize";
+    for (const std::string& failure : failures) os << "; " << failure;
+    return Status(richest.ok() ? StatusCode::kInternal : richest.code(),
+                  os.str());
+  }
+  for (std::string& failure : failures) {
+    best->log.push_back(std::move(failure));
+  }
   return best;
 }
 

@@ -1,11 +1,14 @@
-// The Plumber optimizer: trace -> model -> LP/cache/prefetch -> rewrite.
+// The Plumber optimizer: trace -> model -> pass schedule -> rewrite.
 //
 // This is the "automatic front-end to the tracer" of paper §1/§4.1 and
-// the pipeline-optimizer tool of §B: three logical passes (LP
-// parallelism, prefetch insertion, cache insertion) iterated (default
-// 2x) so the empirical rates reflect the rewritten pipeline. PickBest
-// implements the pick_best annotation (§B, Fig. 11): trace several
-// signature-equivalent pipelines, optimize each, return the fastest.
+// the pipeline-optimizer tool of §B. The rewrites themselves live in
+// src/core/passes/ (OptimizerPass implementations resolved through
+// PassRegistry); Optimize parses a PassSchedule — by default
+// "parallelism,prefetch,cache,parallelism", which reproduces the
+// original 2x-iterated three-pass loop — and runs it against an
+// OptimizationContext. PickBest implements the pick_best annotation
+// (§B, Fig. 11): trace several signature-equivalent pipelines, optimize
+// each, return the fastest.
 #pragma once
 
 #include <functional>
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/passes/pass.h"
 #include "src/core/planner.h"
 #include "src/core/rewriter.h"
 #include "src/core/tracer.h"
@@ -35,10 +39,21 @@ struct OptimizeOptions {
   // pipeline will run on. 0 = inherit the Session's value when going
   // through Flow::Optimize / Session::OptimizeBest (and behave as 1 —
   // element-at-a-time — when the optimizer is driven directly); >0 is
-  // an explicit override that ApplyEnvironment leaves alone. See
-  // PipelineOptions::engine_batch_size.
+  // an explicit override that ApplyEnvironment leaves alone and the
+  // "batch" autotuning pass respects (it only tunes the unset
+  // default). See PipelineOptions::engine_batch_size.
   int engine_batch_size = 0;
   double trace_seconds = 0.3;
+  // Pass schedule, e.g. "parallelism,prefetch,cache,parallelism,batch"
+  // (names resolved through PassRegistry::Global()). When empty, the
+  // schedule is derived from the legacy knobs below — `passes`
+  // iterations of [parallelism, prefetch (first iteration), cache
+  // (first iteration)], which with the defaults is exactly
+  // kDefaultPassSchedule. When set, it wins and the legacy knobs are
+  // ignored; the sentinel "none" means the explicitly empty schedule
+  // (run no passes: trace the input once and return it unchanged).
+  // See EffectiveSchedule().
+  std::string schedule;
   int passes = 2;
   bool enable_parallelism = true;
   bool enable_prefetch = true;
@@ -60,14 +75,21 @@ struct OptimizeOptions {
   // The single place instantiation options are derived from the
   // machine + environment (tracing on, cache budget = machine memory).
   PipelineOptions MakePipelineOptions() const;
+
+  // The schedule Optimize will run: `schedule` if set, otherwise the
+  // derivation from the legacy enable_*/passes knobs described above.
+  std::string EffectiveSchedule() const;
 };
 
 struct OptimizeResult {
   GraphDef graph;
-  LpPlan plan;                 // final-pass LP plan
-  CacheDecision cache;         // cache decision (pass 1)
-  PrefetchDecision prefetch;   // prefetch decision (pass 1)
+  LpPlan plan;                 // last parallelism pass's LP plan
+  CacheDecision cache;         // last cache pass's decision
+  PrefetchDecision prefetch;   // last prefetch pass's decision
   double traced_rate = 0;      // observed rate in the final trace
+  // One report per scheduled pass, in execution order: what each pass
+  // decided and whether it rewrote the graph.
+  std::vector<PassReport> pass_reports;
   std::vector<std::string> log;
   int picked_variant = 0;      // PickBest only
 };

@@ -1,0 +1,65 @@
+// The built-in optimizer passes, registered in PassRegistry::Global()
+// under the names in comments. ParallelismPass / PrefetchPass /
+// CachePass are the three rewrites of the original inline optimizer
+// (paper §4.1, §B); BatchSizePass autotunes the execution engine's
+// batch size from traced per-element cost.
+#pragma once
+
+#include "src/core/passes/pass.h"
+
+namespace plumber {
+
+// "parallelism": re-traces the current graph (at cache steady state if
+// one is present), solves the CPU/disk LP, and applies the integer
+// parallelism suggestions (paper §4.3).
+class ParallelismPass : public OptimizerPass {
+ public:
+  const char* name() const override { return "parallelism"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
+// "prefetch": injects (or resizes) a root prefetch proportional to
+// pipeline idleness (paper §4.1). Plans from the latest model;
+// idempotent.
+class PrefetchPass : public OptimizerPass {
+ public:
+  const char* name() const override { return "prefetch"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
+// "cache": inserts a cache after the best cacheable node that fits the
+// machine's memory budget (paper §4.3 "Memory"); skips graphs that
+// already contain one. Honors OptimizeOptions::enumerate_caches.
+class CachePass : public OptimizerPass {
+ public:
+  const char* name() const override { return "cache"; }
+  // Caching frees the cores of the cached-away subtree; a re-trace +
+  // re-solve redistributes them (the default schedule's trailing
+  // "parallelism").
+  const char* followup() const override { return "parallelism"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
+// "batch": picks the execution engine's batch size (how many elements
+// parallel operators claim and hand off per lock acquisition) from the
+// traced per-element cost of the bottleneck parallel stage, and records
+// it in the graph via rewriter::SetEngineBatchSize. Cheap UDFs at high
+// parallelism are engine-overhead-bound and get a large batch;
+// expensive or latency-bound stages stay at 1 (results are identical at
+// any batch size, so this is a pure throughput knob). Not in the
+// default schedule; opt in via "...,batch" or Flow::OptimizeWith.
+class BatchSizePass : public OptimizerPass {
+ public:
+  // Per-element engine overhead (queue handoff + input-lock traffic)
+  // the batch amortizes, from the bench_micro_engine cheap-UDF sweep.
+  static constexpr double kPerElementOverheadNs = 2000;
+  // The pass sizes the batch so amortized overhead is at most this
+  // fraction of the bottleneck stage's per-element work.
+  static constexpr double kTargetOverheadFraction = 0.1;
+  static constexpr int kMaxEngineBatch = 64;
+
+  const char* name() const override { return "batch"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
+}  // namespace plumber

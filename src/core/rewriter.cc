@@ -1,5 +1,7 @@
 #include "src/core/rewriter.h"
 
+#include <algorithm>
+
 #include "src/pipeline/ops.h"
 
 namespace plumber {
@@ -72,6 +74,23 @@ Status EnsureRootPrefetch(GraphDef* graph, int buffer) {
     return SetBufferSize(graph, root->name, buffer);
   }
   return InjectPrefetch(graph, root->name, buffer).status();
+}
+
+Status SetEngineBatchSize(GraphDef* graph, int batch) {
+  if (batch < 1) return InvalidArgumentError("engine batch size < 1");
+  NodeDef* root = graph->MutableNode(graph->output());
+  if (root == nullptr) return FailedPreconditionError("no output node");
+  // One recording per graph: clear stale attrs (e.g. on a node that was
+  // the output before a later prefetch injection) before setting.
+  for (NodeDef& node : graph->mutable_nodes()) {
+    node.attrs.erase(kAttrEngineBatchSize);
+  }
+  root->attrs[kAttrEngineBatchSize] = AttrValue(batch);
+  return OkStatus();
+}
+
+int GetEngineBatchSize(const GraphDef& graph) {
+  return GraphEngineBatchSize(graph);
 }
 
 bool HasOp(const GraphDef& graph, const std::string& op) {

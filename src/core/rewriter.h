@@ -34,6 +34,16 @@ StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after);
 // Ensures the graph root is a prefetch (injects one if missing).
 Status EnsureRootPrefetch(GraphDef* graph, int buffer);
 
+// Records the execution engine's batch size in the graph (attr on the
+// output node; any previous recording is cleared), so the optimizer's
+// batch decision travels with the program instead of living only in
+// PipelineOptions. Pipeline::Create honors it whenever the options
+// leave the knob unset; an explicit options value wins.
+Status SetEngineBatchSize(GraphDef* graph, int batch);
+
+// The graph-recorded engine batch size; 0 if none was recorded.
+int GetEngineBatchSize(const GraphDef& graph);
+
 // True if any node of the given op kind exists.
 bool HasOp(const GraphDef& graph, const std::string& op);
 

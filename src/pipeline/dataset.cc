@@ -1,5 +1,6 @@
 #include "src/pipeline/dataset.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 
@@ -60,6 +61,15 @@ bool OpSupportsParallelism(const std::string& op) {
 bool OpIsSource(const std::string& op) {
   return op == "tfrecord" || op == "interleave" || op == "range" ||
          op == "file_list";
+}
+
+int GraphEngineBatchSize(const GraphDef& graph) {
+  int batch = 0;
+  for (const auto& node : graph.nodes()) {
+    batch = std::max(batch,
+                     static_cast<int>(node.GetInt(kAttrEngineBatchSize, 0)));
+  }
+  return batch;
 }
 
 StatusOr<DatasetPtr> InstantiateGraph(const GraphDef& graph,

@@ -267,6 +267,13 @@ class FilterDataset : public DatasetBase {
   const UdfSpec* udf_;
 };
 
+// Sequential filter. With engine_batch_size > 1 a consumer claiming a
+// batch (a parallel map worker, batch assembly) drives the overridden
+// GetNextBatchInternal below, which claims whole batches from the input
+// in turn — one cancellation check and CPU scope per claimed batch on
+// both sides, and the predicate runs once per element either way.
+// Decisions are deterministic in (seed, element.sequence), so batching
+// never changes which elements survive.
 class FilterIterator : public IteratorBase {
  public:
   FilterIterator(PipelineContext* ctx, IteratorStats* stats,
@@ -290,10 +297,38 @@ class FilterIterator : public IteratorBase {
     }
   }
 
+  Status GetNextBatchInternal(std::vector<Element>* out, size_t max_elements,
+                              bool* end) override {
+    size_t produced = 0;
+    while (produced < max_elements) {
+      // Claim only as many inputs as outputs still owed: survivors never
+      // exceed the claim, so no kept element has to be buffered across
+      // calls (GetNext and GetNextBatch stay freely interleavable).
+      claimed_.clear();
+      bool input_end = false;
+      RETURN_IF_ERROR(input_->GetNextBatch(
+          &claimed_, max_elements - produced, &input_end));
+      if (!claimed_.empty()) stats_->RecordConsumedBatch(claimed_.size());
+      for (Element& element : claimed_) {
+        if (ExecuteFilterUdf(*udf_, element, ctx_->cpu_scale, seed_,
+                             ctx_->work_model)) {
+          out->push_back(std::move(element));
+          ++produced;
+        }
+      }
+      if (input_end) {
+        *end = true;
+        return OkStatus();
+      }
+    }
+    return OkStatus();
+  }
+
  private:
   std::unique_ptr<IteratorBase> input_;
   const UdfSpec* udf_;
   const uint64_t seed_;
+  std::vector<Element> claimed_;  // reused claim buffer
 };
 
 StatusOr<std::unique_ptr<IteratorBase>> FilterDataset::MakeIterator(

@@ -24,9 +24,11 @@ struct PipelineOptions {
   bool tracing_enabled = true;
   uint64_t memory_budget_bytes = 0;
   // Elements parallel operators claim/hand off per lock acquisition.
-  // 1 = element-at-a-time (identical to the pre-batching engine);
-  // see PipelineContext::engine_batch_size.
-  int engine_batch_size = 1;
+  // 0 = unset: element-at-a-time unless the graph carries a recorded
+  // batch size (the optimizer's batch pass). >0 = explicit choice
+  // (1 = classic element-at-a-time engine) that wins over any
+  // graph-recorded value. See PipelineContext::engine_batch_size.
+  int engine_batch_size = 0;
 };
 
 class Pipeline {

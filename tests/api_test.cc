@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/rewriter.h"
 #include "src/pipeline/graph_builder.h"
 #include "src/pipeline/ops.h"
 #include "src/util/rng.h"
@@ -284,6 +285,41 @@ TEST(FlowTest, OptimizeSpeedsUpMisconfiguredFlow) {
     tuned = tuned_report.ok() ? tuned_report->batches_per_second : 0;
     return naive > 0 && tuned > naive * 2;
   })) << "tuned=" << tuned << " naive=" << naive;
+}
+
+TEST(FlowTest, OptimizeWithRunsTheGivenScheduleAndReports) {
+  Session session = MakeTestSession(8);
+  ASSERT_TRUE(session.CreateRecordFiles("big/f", 4, 200, 64).ok());
+  const Flow flow = session.Files("big/")
+                        .Interleave(2, 1)
+                        .Map("slow")
+                        .ShuffleAndRepeat(16)
+                        .Batch(5);
+  auto optimized = flow.OptimizeWith("parallelism,prefetch");
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  ASSERT_EQ(optimized->pass_reports.size(), 2u);
+  EXPECT_EQ(optimized->pass_reports[0].pass, "parallelism");
+  EXPECT_EQ(optimized->pass_reports[1].pass, "prefetch");
+  EXPECT_GT(optimized->pass_reports[0].plan.predicted_rate, 0);
+  auto graph = optimized->Graph();
+  ASSERT_TRUE(graph.ok());
+  // No cache pass in this schedule, so no cache node appears.
+  EXPECT_FALSE(rewriter::HasOp(*graph, "cache"));
+  EXPECT_EQ(graph->FindNode(graph->output())->op, "prefetch");
+
+  auto bogus = flow.OptimizeWith("parallelism,bogus");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+
+  // An explicitly empty schedule is the no-op baseline (trace only),
+  // not the legacy-derived default schedule.
+  auto noop = flow.OptimizeWith("");
+  ASSERT_TRUE(noop.ok()) << noop.status();
+  EXPECT_TRUE(noop->pass_reports.empty());
+  EXPECT_GT(noop->traced_rate, 0);
+  auto noop_graph = noop->Graph();
+  ASSERT_TRUE(noop_graph.ok());
+  EXPECT_EQ(noop_graph->Serialize(), flow.Graph()->Serialize());
 }
 
 TEST(FlowTest, RunWithWarmupReportsOnlyTheMeasuredWindow) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/api/session.h"
+#include "src/core/rewriter.h"
 #include "tests/test_util.h"
 
 namespace plumber {
@@ -86,6 +87,54 @@ TEST(EngineBatchTest, BatchedPrefetchAndInterleaveIdentical) {
   }
 }
 
+TEST(EngineBatchTest, BatchedFilterIdentical) {
+  // The sequential filter claims whole batches from its input when a
+  // batching consumer (here: parallel map workers) drives it; dropped
+  // elements and survivors must be identical at any batch size.
+  PipelineTestEnv env(4, 25, 48);
+  for (const char* predicate : {"keep_half", "keep_all"}) {
+    GraphBuilder b;
+    auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+    n = b.Filter("flt", n, predicate);
+    n = b.Map("m", n, "double_size", 4, /*deterministic=*/true);
+    n = b.Batch("bt", n, 4, /*drop_remainder=*/false);
+    const GraphDef graph = std::move(b.Build(n)).value();
+    const auto reference = RunChain(env, graph, 1);
+    ASSERT_FALSE(reference.empty()) << predicate;
+    for (int batch : {2, 8, 64}) {
+      ExpectIdenticalOutput(reference, RunChain(env, graph, batch));
+    }
+  }
+}
+
+TEST(EngineBatchTest, FilterStatsConservationUnderBatching) {
+  PipelineTestEnv env(4, 25, 48);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.Filter("flt", n, "keep_half");
+  n = b.Map("m", n, "noop", 4, /*deterministic=*/true);
+  const GraphDef graph = std::move(b.Build(n)).value();
+  PipelineOptions options = env.Options();
+  options.engine_batch_size = 16;
+  auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+  const size_t kept = Drain(*pipeline).size();
+  const auto snap = pipeline->stats().Snapshot();
+  auto find = [&](const std::string& name) {
+    for (const auto& s : snap) {
+      if (s.name == name) return s;
+    }
+    return IteratorStatsSnapshot{};
+  };
+  // The filter consumed everything the interleave produced and produced
+  // exactly what the map consumed (= what the drain kept).
+  EXPECT_EQ(find("il").elements_produced, 100u);
+  EXPECT_EQ(find("flt").elements_consumed, 100u);
+  EXPECT_EQ(find("flt").elements_produced, kept);
+  EXPECT_EQ(find("m").elements_consumed, kept);
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, 100u);  // keep_half actually dropped elements
+}
+
 TEST(EngineBatchTest, BatchedCombineOpsIdentical) {
   PipelineTestEnv env(4, 25, 48);
   GraphBuilder b;
@@ -141,6 +190,31 @@ TEST(EngineBatchTest, StatsConservationHoldsUnderBatching) {
   EXPECT_EQ(find("m").elements_produced, 100u);
   EXPECT_EQ(find("bt").elements_consumed, find("m").elements_produced);
   EXPECT_EQ(find("bt").elements_produced, 25u);
+}
+
+TEST(EngineBatchTest, GraphRecordedBatchPrecedence) {
+  // Explicit options (>0, including 1 = element-at-a-time) beat the
+  // graph-recorded batch; only the unset default (0) defers to it.
+  PipelineTestEnv env(2, 10, 32);
+  GraphDef graph = DeterministicMapChain(4);
+  ASSERT_TRUE(rewriter::SetEngineBatchSize(&graph, 64).ok());
+  ASSERT_EQ(rewriter::GetEngineBatchSize(graph), 64);
+  struct Case {
+    int options_batch;
+    int expected;
+  };
+  for (const Case c : {Case{0, 64}, Case{1, 1}, Case{32, 32}}) {
+    PipelineOptions options = env.Options();
+    options.engine_batch_size = c.options_batch;
+    auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+    EXPECT_EQ(pipeline->context()->engine_batch_size, c.expected)
+        << "options=" << c.options_batch;
+  }
+  // Without a recording, unset behaves as the classic engine.
+  PipelineOptions options = env.Options();
+  auto plain = std::move(
+      Pipeline::Create(DeterministicMapChain(4), options)).value();
+  EXPECT_EQ(plain->context()->engine_batch_size, 1);
 }
 
 TEST(EngineBatchTest, SessionKnobAndRunOverrideProduceSameResults) {

@@ -60,6 +60,33 @@ TEST(OptimizerRegressionTest, OptimizedGraphNeverMeasuresSlowerThanInput) {
       << " naive=" << naive_rate;
 }
 
+TEST(OptimizerRegressionTest, BatchSizePassNeverSlowerOnCheapUdfPipeline) {
+  // The acceptance case for the engine-batch autotuner: a cheap-UDF
+  // p=8 pipeline is engine-overhead-bound, so the batch pass must pick
+  // a batch > 1 and the rewritten graph must measure at least as fast
+  // as the element-at-a-time run (~2.4x in bench_micro_engine).
+  PipelineTestEnv env(2, 20, 64);
+  GraphBuilder b;
+  auto n = b.Range("src", -1);
+  n = b.Map("m", n, "noop", 8);
+  const GraphDef naive = std::move(b.Build(n)).value();
+
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "batch";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(naive);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(rewriter::GetEngineBatchSize(result->graph), 1);
+
+  double naive_rate = 0, tuned_rate = 0;
+  EXPECT_TRUE(testing_util::EventuallyTrue([&] {
+    naive_rate = MeasureRate(env, naive);
+    tuned_rate = MeasureRate(env, result->graph);
+    return tuned_rate >= naive_rate;
+  })) << "batch pass made the pipeline slower: tuned=" << tuned_rate
+      << " naive=" << naive_rate;
+}
+
 TEST(OptimizerRegressionTest, ParallelismPlanStaysWithinCoreBudget) {
   PipelineTestEnv env(4, 200, 64);
   PlumberOptimizer optimizer(MakeOptions(env));

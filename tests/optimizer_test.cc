@@ -154,6 +154,50 @@ TEST(OptimizerTest, PickBestPrefersFasterVariant) {
   EXPECT_EQ(result->picked_variant, 1);
 }
 
+TEST(OptimizerTest, PickBestLogsFailedVariants) {
+  PipelineTestEnv env(4, 100, 64);
+  GraphDef good = MisconfiguredGraph();
+  // A variant that cannot be instantiated (unknown UDF): formerly
+  // silently skipped, now recorded in the winner's log.
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("broken", n, "no_such_udf");
+  n = b.Batch("batch", n, 5);
+  GraphDef bad = std::move(b.Build(n)).value();
+
+  PlumberOptimizer optimizer(MakeOptions(env));
+  auto result = optimizer.PickBest({bad, good});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->picked_variant, 1);
+  bool logged = false;
+  for (const std::string& line : result->log) {
+    if (line.find("variant 0") != std::string::npos &&
+        line.find("no_such_udf") != std::string::npos) {
+      logged = true;
+    }
+  }
+  EXPECT_TRUE(logged) << "failed variant not recorded in log";
+}
+
+TEST(OptimizerTest, PickBestReturnsRichErrorWhenAllVariantsFail) {
+  PipelineTestEnv env(4, 100, 64);
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("broken", n, "no_such_udf");
+  n = b.Batch("batch", n, 5);
+  GraphDef bad = std::move(b.Build(n)).value();
+
+  PlumberOptimizer optimizer(MakeOptions(env));
+  auto result = optimizer.PickBest({bad, bad});
+  ASSERT_FALSE(result.ok());
+  // The error names every variant and the underlying cause, not just
+  // "no variant optimized successfully".
+  EXPECT_NE(result.status().message().find("variant 0"), std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("variant 1"), std::string::npos);
+  EXPECT_NE(result.status().message().find("no_such_udf"), std::string::npos);
+}
+
 TEST(OptimizerTest, OptimizationIsIdempotentOnTunedPipeline) {
   PipelineTestEnv env(4, 200, 64);
   PlumberOptimizer optimizer(MakeOptions(env));

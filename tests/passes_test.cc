@@ -1,0 +1,301 @@
+// Pass framework tests: registry contents, schedule parsing, legacy
+// flag derivation, default-schedule equivalence with the pre-framework
+// optimizer, and the BatchSizePass decision rule.
+#include "src/core/passes/pass_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/optimizer.h"
+#include "src/core/passes/builtin_passes.h"
+#include "src/core/rewriter.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::PipelineTestEnv;
+
+TEST(PassRegistryTest, BuiltinsRegisteredInCanonicalOrder) {
+  const std::vector<std::string> names = PassRegistry::Global().Names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "parallelism");
+  EXPECT_EQ(names[1], "prefetch");
+  EXPECT_EQ(names[2], "cache");
+  EXPECT_EQ(names[3], "batch");
+  for (const std::string& name : names) {
+    auto pass = PassRegistry::Global().Create(name);
+    ASSERT_TRUE(pass.ok()) << name;
+    EXPECT_EQ((*pass)->name(), name);
+    // Only the cache pass declares a follow-up (the re-parallelism
+    // that redistributes freed cores in generated schedules).
+    if (name == "cache") {
+      EXPECT_STREQ((*pass)->followup(), "parallelism");
+    } else {
+      EXPECT_EQ((*pass)->followup(), nullptr);
+    }
+  }
+}
+
+TEST(PassRegistryTest, CreateUnknownPassFails) {
+  EXPECT_EQ(PassRegistry::Global().Create("bogus").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PassRegistryTest, RejectsDuplicateAndMalformedNames) {
+  PassRegistry registry;
+  auto factory = [] {
+    return std::unique_ptr<OptimizerPass>(new ParallelismPass());
+  };
+  EXPECT_TRUE(registry.Register("mine", factory).ok());
+  EXPECT_EQ(registry.Register("mine", factory).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Register("", factory).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("a,b", factory).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PassScheduleTest, ParsesDefaultSchedule) {
+  auto schedule = PassSchedule::Parse(kDefaultPassSchedule);
+  ASSERT_TRUE(schedule.ok());
+  const std::vector<std::string> expected = {"parallelism", "prefetch",
+                                             "cache", "parallelism"};
+  EXPECT_EQ(schedule->passes(), expected);
+  EXPECT_EQ(schedule->ToString(), kDefaultPassSchedule);
+}
+
+TEST(PassScheduleTest, TrimsWhitespaceAndAllowsRepeats) {
+  auto schedule = PassSchedule::Parse(" parallelism ,\tbatch , parallelism");
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  const std::vector<std::string> expected = {"parallelism", "batch",
+                                             "parallelism"};
+  EXPECT_EQ(schedule->passes(), expected);
+}
+
+TEST(PassScheduleTest, EmptyStringIsEmptySchedule) {
+  auto schedule = PassSchedule::Parse("");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->empty());
+}
+
+TEST(PassScheduleTest, UnknownPassNameIsInvalidArgument) {
+  auto schedule = PassSchedule::Parse("parallelism,bogus");
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kInvalidArgument);
+  // The error names the offender and the known passes.
+  EXPECT_NE(schedule.status().message().find("bogus"), std::string::npos);
+  EXPECT_NE(schedule.status().message().find("parallelism"),
+            std::string::npos);
+}
+
+TEST(PassScheduleTest, EmptyComponentIsInvalidArgument) {
+  EXPECT_EQ(PassSchedule::Parse("parallelism,,cache").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PassSchedule::Parse(",parallelism").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PassSchedule::Parse("parallelism,").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizeOptionsTest, EffectiveScheduleMatchesLegacyFlagDerivation) {
+  OptimizeOptions options;
+  EXPECT_EQ(options.EffectiveSchedule(), kDefaultPassSchedule);
+  options.enable_cache = false;
+  EXPECT_EQ(options.EffectiveSchedule(), "parallelism,prefetch,parallelism");
+  options.enable_prefetch = false;
+  EXPECT_EQ(options.EffectiveSchedule(), "parallelism,parallelism");
+  options.passes = 1;
+  EXPECT_EQ(options.EffectiveSchedule(), "parallelism");
+  options.enable_parallelism = false;
+  EXPECT_EQ(options.EffectiveSchedule(), "");
+  // An explicit schedule wins over every legacy knob.
+  options.schedule = "batch";
+  EXPECT_EQ(options.EffectiveSchedule(), "batch");
+  // The "none" sentinel is the explicitly empty schedule, distinct
+  // from "" (= derive from the legacy knobs).
+  options = OptimizeOptions();
+  options.schedule = "none";
+  EXPECT_EQ(options.EffectiveSchedule(), "");
+}
+
+GraphDef MisconfiguredGraph() {
+  GraphBuilder b;
+  auto n = b.Interleave("interleave", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("expensive", n, "slow");
+  n = b.ShuffleAndRepeat("sr", n, 16);
+  n = b.Batch("batch", n, 5);
+  return std::move(b.Build(n)).value();
+}
+
+OptimizeOptions MakeOptions(PipelineTestEnv& env) {
+  OptimizeOptions options;
+  options.machine = MachineSpec::SetupA();
+  options.machine.num_cores = 8;
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
+  options.trace_seconds = 0.2;
+  return options;
+}
+
+TEST(PassFrameworkTest, UnknownPassInScheduleFailsBeforeTracing) {
+  PipelineTestEnv env(2, 20, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "parallelism,no_such_pass";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PassFrameworkTest, EmptyScheduleStillTracesTheInput) {
+  // All legacy knobs disabled derives an empty schedule; the graph is
+  // returned untouched but the observed rate is still measured (the
+  // pre-framework optimizer traced even with every pass disabled).
+  PipelineTestEnv env(2, 20, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.enable_parallelism = false;
+  options.enable_prefetch = false;
+  options.enable_cache = false;
+  PlumberOptimizer optimizer(options);
+  const GraphDef input = MisconfiguredGraph();
+  auto result = optimizer.Optimize(input);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->pass_reports.empty());
+  EXPECT_EQ(result->graph.Serialize(), input.Serialize());
+  EXPECT_GT(result->traced_rate, 0);
+}
+
+TEST(PassFrameworkTest, DefaultScheduleProducesOneReportPerPass) {
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.machine.memory_bytes = 10 << 20;
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->pass_reports.size(), 4u);
+  EXPECT_EQ(result->pass_reports[0].pass, "parallelism");
+  EXPECT_EQ(result->pass_reports[1].pass, "prefetch");
+  EXPECT_EQ(result->pass_reports[2].pass, "cache");
+  EXPECT_EQ(result->pass_reports[3].pass, "parallelism");
+  // The parallelism and prefetch passes always rewrite; their typed
+  // decisions surface both per report and folded into the flat fields.
+  EXPECT_TRUE(result->pass_reports[0].changed);
+  EXPECT_GT(result->pass_reports[0].plan.predicted_rate, 0);
+  EXPECT_TRUE(result->pass_reports[1].changed);
+  EXPECT_GE(result->pass_reports[1].prefetch.root_buffer, 1);
+  EXPECT_EQ(result->prefetch.root_buffer,
+            result->pass_reports[1].prefetch.root_buffer);
+  // The folded plan is the final parallelism pass's plan.
+  EXPECT_EQ(result->plan.predicted_rate,
+            result->pass_reports[3].plan.predicted_rate);
+  // First trace feeds passes 0-2 (one trace per iteration, as in the
+  // pre-framework optimizer); the final parallelism pass re-traces.
+  EXPECT_EQ(result->pass_reports[0].traced_rate,
+            result->pass_reports[1].traced_rate);
+  EXPECT_EQ(result->pass_reports[1].traced_rate,
+            result->pass_reports[2].traced_rate);
+}
+
+// A cheap-UDF high-parallelism pipeline is engine-overhead-bound:
+// exactly the case the batch pass exists for.
+GraphDef CheapUdfGraph(int parallelism) {
+  GraphBuilder b;
+  auto n = b.Range("src", -1);
+  n = b.Map("m", n, "noop", parallelism);
+  return std::move(b.Build(n)).value();
+}
+
+TEST(BatchSizePassTest, PicksLargeBatchForCheapParallelStage) {
+  PipelineTestEnv env(2, 20, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "batch";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(CheapUdfGraph(8));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->pass_reports.size(), 1u);
+  EXPECT_TRUE(result->pass_reports[0].changed);
+  EXPECT_GT(result->pass_reports[0].engine_batch_size, 1);
+  EXPECT_EQ(rewriter::GetEngineBatchSize(result->graph),
+            result->pass_reports[0].engine_batch_size);
+}
+
+TEST(BatchSizePassTest, ExpensiveStageStaysAtBatchOne) {
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  // LP first so the 200us map becomes parallel, then the batch pass
+  // must still leave it element-at-a-time (work dwarfs the overhead).
+  options.schedule = "parallelism,batch";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(*rewriter::GetParallelism(result->graph, "expensive"), 1);
+  EXPECT_EQ(rewriter::GetEngineBatchSize(result->graph), 0);
+  EXPECT_FALSE(result->pass_reports.back().changed);
+}
+
+TEST(BatchSizePassTest, SequentialPipelineStaysAtBatchOne) {
+  PipelineTestEnv env(2, 20, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "batch";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(CheapUdfGraph(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(rewriter::GetEngineBatchSize(result->graph), 0);
+}
+
+TEST(BatchSizePassTest, RespectsExplicitEngineBatchSize) {
+  PipelineTestEnv env(2, 20, 64);
+  // Any explicit choice is respected — including 1, the classic
+  // element-at-a-time engine; only the unset default (0) is autotuned.
+  for (int explicit_batch : {1, 16}) {
+    OptimizeOptions options = MakeOptions(env);
+    options.schedule = "batch";
+    options.engine_batch_size = explicit_batch;
+    PlumberOptimizer optimizer(options);
+    auto result = optimizer.Optimize(CheapUdfGraph(8));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(rewriter::GetEngineBatchSize(result->graph), 0)
+        << "explicit " << explicit_batch;
+    EXPECT_FALSE(result->pass_reports[0].changed);
+  }
+}
+
+TEST(PassFrameworkTest, RetraceHookSeesRewrittenGraph) {
+  // The context's re-trace hook is the seam between passes and the
+  // runtime: the second parallelism pass of the default schedule must
+  // trace the graph the earlier passes rewrote, not the input.
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.enable_cache = false;
+  OptimizationContext ctx(MisconfiguredGraph(), options);
+  int traces = 0;
+  bool saw_prefetch_root = false;
+  ctx.set_retrace_hook(
+      [&](const GraphDef& g) -> StatusOr<TraceSnapshot> {
+        ++traces;
+        saw_prefetch_root =
+            g.FindNode(g.output()) != nullptr &&
+            g.FindNode(g.output())->op == "prefetch";
+        ASSIGN_OR_RETURN(auto pipeline,
+                         Pipeline::Create(g, options.MakePipelineOptions()));
+        TraceOptions topts;
+        topts.trace_seconds = 0.1;
+        topts.machine = options.machine;
+        TraceSnapshot trace = CaptureTrace(*pipeline, topts);
+        pipeline->Cancel();
+        return trace;
+      });
+  ParallelismPass parallelism;
+  PrefetchPass prefetch;
+  ASSERT_TRUE(parallelism.Run(ctx).ok());
+  EXPECT_EQ(traces, 1);
+  EXPECT_FALSE(saw_prefetch_root);
+  ASSERT_TRUE(prefetch.Run(ctx).ok());
+  EXPECT_EQ(traces, 1);  // prefetch plans from the latest model
+  ASSERT_TRUE(parallelism.Run(ctx).ok());
+  EXPECT_EQ(traces, 2);  // graph changed -> fresh trace
+  EXPECT_TRUE(saw_prefetch_root);
+}
+
+}  // namespace
+}  // namespace plumber

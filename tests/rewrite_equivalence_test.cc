@@ -131,6 +131,40 @@ TEST(RewriteEquivalenceTest, RewritesPreserveSignature) {
   EXPECT_FALSE(Drain(**pipeline).empty());
 }
 
+TEST(RewriteEquivalenceTest, PassOrderPermutationsPreserveSemantics) {
+  // Any pass schedule — reordered, repeated, batch-extended — must
+  // still produce a valid drop-in replacement graph: same multiset of
+  // elements, validates, instantiates.
+  PipelineTestEnv env(3, 20, 48);
+  const std::vector<size_t> expected = ReferenceFingerprint(env);
+
+  const char* kSchedules[] = {
+      "parallelism,prefetch,cache,parallelism",  // default
+      "cache,prefetch,parallelism",
+      "prefetch,parallelism,batch",
+      "batch,parallelism,prefetch,cache",
+      "cache,batch,prefetch",
+      "parallelism,parallelism,prefetch",
+  };
+  for (const char* schedule : kSchedules) {
+    OptimizeOptions options;
+    options.machine = MachineSpec::SetupA();
+    options.machine.num_cores = 8;
+    options.machine.memory_bytes = 10 << 20;
+    options.fs = &env.fs;
+    options.udfs = &env.udfs;
+    options.trace_seconds = 0.15;
+    options.schedule = schedule;
+    PlumberOptimizer optimizer(options);
+    auto result = optimizer.Optimize(FiniteGraph());
+    ASSERT_TRUE(result.ok()) << schedule << ": " << result.status();
+    ASSERT_TRUE(result->graph.Validate().ok()) << schedule;
+    auto pipeline = Pipeline::Create(result->graph, env.Options());
+    ASSERT_TRUE(pipeline.ok()) << schedule << ": " << pipeline.status();
+    EXPECT_EQ(SizeFingerprint(Drain(**pipeline)), expected) << schedule;
+  }
+}
+
 TEST(RewriteEquivalenceTest, SecondPrefetchInjectionIsIdempotent) {
   PipelineTestEnv env(3, 20, 48);
   GraphDef graph = FiniteGraph();
