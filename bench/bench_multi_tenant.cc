@@ -1,0 +1,170 @@
+// Multi-tenant executor bench: 4 heterogeneous jobs sharing one 8-core
+// modeled machine, submitted concurrently through Session::Submit vs
+// the same jobs run back-to-back with the blocking Flow::Run.
+//
+// Reports aggregate items/s for both modes and the per-job completion
+// latency distribution (p50/p95 of submit -> finished) under
+// concurrency. Expected shape: each job's configured demand (2-4
+// workers) underuses the 8 cores alone, so overlapping the four jobs
+// under the maximin arbiter lifts aggregate throughput well above the
+// serialized baseline (the acceptance bar is >= 1.3x; the modeled
+// kTimed UDFs make the ratio host-independent).
+//
+// BENCH_METRIC lines (higher is better) are gated by
+// scripts/check_bench_regression.py against bench/baselines/.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/util/busy_work.h"
+#include "src/util/cpu_timer.h"
+
+using namespace plumber;
+using namespace plumber::bench;
+
+namespace {
+
+struct JobSpec {
+  const char* name;
+  const char* udf;
+  double cost_ns;      // modeled per-element cost
+  int parallelism;     // configured map workers
+  int64_t elements;    // finite job size
+};
+
+// Heterogeneous mix: two heavy decoders, a medium augmenter, a light
+// parser. Total configured demand = 10 workers on 8 cores, so the
+// arbiter has real work under concurrency.
+const JobSpec kJobs[] = {
+    {"decode_a", "udf_heavy", 2.0e6, 3, 900},
+    {"decode_b", "udf_heavy", 2.0e6, 3, 900},
+    {"augment", "udf_medium", 1.0e6, 2, 700},
+    {"parse", "udf_light", 0.5e6, 2, 900},
+};
+
+Session MakeSession() {
+  SessionOptions so;
+  so.machine.num_cores = 8;
+  Session session(std::move(so));
+  UdfSpec heavy;
+  heavy.name = "udf_heavy";
+  heavy.cost_ns_per_element = 2.0e6;
+  (void)session.RegisterUdf(heavy);
+  UdfSpec medium;
+  medium.name = "udf_medium";
+  medium.cost_ns_per_element = 1.0e6;
+  (void)session.RegisterUdf(medium);
+  UdfSpec light;
+  light.name = "udf_light";
+  light.cost_ns_per_element = 0.5e6;
+  (void)session.RegisterUdf(light);
+  return session;
+}
+
+Flow MakeFlow(Session& session, const JobSpec& spec) {
+  return session.Range(spec.elements)
+      .Map(spec.udf, spec.parallelism)
+      .Named(std::string(spec.name) + "_map");
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("BENCH_METRIC host_spin_rounds_per_ns %.6f\n",
+              SpinRoundsPerNano());
+  PrintHeader(
+      "Multi-tenant executor: 4 concurrent jobs vs serialized (8 cores)");
+
+  RunOptions window;  // finite jobs: run each to the end
+  window.max_seconds = 120;
+  int64_t total_elements = 0;
+  for (const JobSpec& spec : kJobs) total_elements += spec.elements;
+
+  // -- Serialized baseline: blocking Run, back to back. A job's
+  // completion latency includes waiting out every job ahead of it —
+  // the run-to-completion cost Salus-style sharing removes.
+  double serial_seconds = 0;
+  std::vector<double> serial_completion_seconds;
+  {
+    Session session = MakeSession();
+    const int64_t t0 = WallNanos();
+    for (const JobSpec& spec : kJobs) {
+      const auto report = MakeFlow(session, spec).Run(window);
+      if (!report.ok() || !report->reached_end) {
+        std::printf("serial job %s failed: %s\n", spec.name,
+                    report.ok() ? "did not finish"
+                                : report.status().ToString().c_str());
+        return 1;
+      }
+      serial_completion_seconds.push_back((WallNanos() - t0) * 1e-9);
+    }
+    serial_seconds = (WallNanos() - t0) * 1e-9;
+  }
+  const double serial_rate = total_elements / serial_seconds;
+
+  // -- Concurrent: submit all four, wait for all.
+  double concurrent_seconds = 0;
+  std::vector<double> completion_seconds;
+  {
+    Session session = MakeSession();
+    const int64_t t0 = WallNanos();
+    std::vector<JobHandle> handles;
+    for (const JobSpec& spec : kJobs) {
+      JobOptions jopts;
+      jopts.run = window;
+      jopts.name = spec.name;
+      handles.push_back(session.Submit(MakeFlow(session, spec), jopts));
+    }
+    for (JobHandle& handle : handles) {
+      const auto report = handle.Wait();
+      if (!report.ok() || !report->reached_end) {
+        std::printf("concurrent job %s failed: %s\n", handle.name().c_str(),
+                    report.ok() ? "did not finish"
+                                : report.status().ToString().c_str());
+        return 1;
+      }
+      // Completion = admission wait + execution (submit -> finished).
+      completion_seconds.push_back(report->queue_seconds +
+                                   report->wall_seconds);
+    }
+    concurrent_seconds = (WallNanos() - t0) * 1e-9;
+  }
+  const double concurrent_rate = total_elements / concurrent_seconds;
+  const double speedup = concurrent_rate / serial_rate;
+  const double p50 = Percentile(completion_seconds, 0.50);
+  const double p95 = Percentile(completion_seconds, 0.95);
+
+  Table table({"mode", "wall s", "items/s", "p50 completion s",
+               "p95 completion s"});
+  table.AddRow({"serialized (Run)", Table::Num(serial_seconds, 2),
+                Table::Num(serial_rate, 0),
+                Table::Num(Percentile(serial_completion_seconds, 0.50), 2),
+                Table::Num(Percentile(serial_completion_seconds, 0.95), 2)});
+  table.AddRow({"concurrent (Submit)", Table::Num(concurrent_seconds, 2),
+                Table::Num(concurrent_rate, 0), Table::Num(p50, 2),
+                Table::Num(p95, 2)});
+  table.Print();
+  std::printf("\naggregate speedup: %.2fx (acceptance bar: >= 1.3x)\n",
+              speedup);
+
+  std::printf("BENCH_METRIC multi_tenant.serial_items_per_s %.2f\n",
+              serial_rate);
+  std::printf("BENCH_METRIC multi_tenant.concurrent_items_per_s %.2f\n",
+              concurrent_rate);
+  std::printf("BENCH_METRIC multi_tenant.speedup_rel %.4f\n", speedup);
+  // Completion latencies gate as inverse rates so every gated metric
+  // stays higher-is-better.
+  std::printf("BENCH_METRIC multi_tenant.p50_completions_per_s %.4f\n",
+              p50 > 0 ? 1.0 / p50 : 0.0);
+  std::printf("BENCH_METRIC multi_tenant.p95_completions_per_s %.4f\n",
+              p95 > 0 ? 1.0 / p95 : 0.0);
+  return speedup >= 1.3 ? 0 : 1;
+}

@@ -76,6 +76,10 @@ int main() {
               before->batches_per_second > 0
                   ? after->batches_per_second / before->batches_per_second
                   : 0.0);
+  // Job timing from the async executor every run goes through:
+  // admission wait (zero here — the job ran alone) vs execution.
+  std::printf("job timing: queued %.1f ms, executed %.2f s\n",
+              after->queue_seconds * 1e3, after->wall_seconds);
   std::printf("LP predicted upper bound: %.1f minibatches/s\n",
               optimized->plan.predicted_rate);
   // The optimized program must beat the misconfigured one (this example

@@ -59,6 +59,7 @@ DEFAULT_BENCHES = [
     "bench_micro_engine",
     "bench_fig10_end_to_end",
     "bench_ablation_passes",
+    "bench_multi_tenant",
 ]
 
 # Wrapper-bench metric carrying the host's calibrated spin rate; it is

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/api/job_handle.h"
 #include "src/api/session.h"
 #include "src/pipeline/ops.h"
 
@@ -265,55 +266,23 @@ StatusOr<GraphDef> Flow::Graph() const {
   return graph;
 }
 
-namespace {
-
-RunReport MakeReport(Pipeline& pipeline, const RunResult& result,
-                     const std::string& tip) {
-  RunReport report;
-  report.status = result.status;
-  report.batches = result.batches;
-  report.elements = result.examples;
-  report.wall_seconds = result.wall_seconds;
-  report.batches_per_second = result.batches_per_second;
-  report.elements_per_second = result.examples_per_second;
-  report.mean_next_latency_seconds = result.mean_next_latency_seconds;
-  report.mean_cores_used = result.mean_cores_used;
-  report.reached_end = result.reached_end;
-  report.node_stats = pipeline.stats().Snapshot();
-  if (const IteratorStatsSnapshot* root = report.FindNode(tip)) {
-    report.bytes_produced = root->bytes_produced;
-  }
-  pipeline.Cancel();
-  return report;
+JobHandle Flow::Submit(JobOptions options) const {
+  auto graph_or = Graph();
+  if (!graph_or.ok()) return JobHandle(graph_or.status());
+  runtime::JobPtr job = internal::GetExecutor(*state_).Submit(
+      std::move(graph_or).value(), std::move(options));
+  return JobHandle(state_, std::move(job));
 }
 
-}  // namespace
-
 StatusOr<RunReport> Flow::Run(const RunOptions& options) const {
-  ASSIGN_OR_RETURN(GraphDef graph, Graph());
-  PipelineOptions popts = internal::MakePipelineOptions(*state_);
-  if (options.engine_batch_size > 0) {
-    // Explicit per-run override: wins over both the session value and
-    // any graph-recorded batch size at instantiation.
-    popts.engine_batch_size = options.engine_batch_size;
-  }
-  ASSIGN_OR_RETURN(auto pipeline,
-                   Pipeline::Create(std::move(graph), popts));
-  ASSIGN_OR_RETURN(auto iterator, pipeline->MakeIterator());
-  RunOptions measured = options;
-  if (measured.warmup_seconds > 0) {
-    // Warm on the same iterator tree (so caches fill), then reset the
-    // counters so node_stats and bytes cover only the measured window.
-    RunOptions warmup;
-    warmup.max_seconds = measured.warmup_seconds;
-    warmup.model_step_seconds = measured.model_step_seconds;
-    const RunResult warm = RunIterator(iterator.get(), warmup);
-    measured.warmup_seconds = 0;
-    if (!warm.status.ok()) return MakeReport(*pipeline, warm, tip_);
-    pipeline->stats().ResetAll();
-  }
-  const RunResult result = RunIterator(iterator.get(), measured);
-  return MakeReport(*pipeline, result, tip_);
+  // Sugar over the async job API: one submission, blocked on. The
+  // executor's driver reproduces the classic inline sequence (warmup
+  // window on the same iterator tree, stats reset, measured window),
+  // and a job running alone is never arbitrated, so the report and the
+  // produced elements match the pre-executor blocking path.
+  JobOptions jopts;
+  jopts.run = options;
+  return Submit(std::move(jopts)).Wait();
 }
 
 OptimizedFlow Flow::MakeOptimizedFlow(

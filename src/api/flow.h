@@ -32,23 +32,34 @@
 #include "src/core/optimizer.h"
 #include "src/core/tracer.h"
 #include "src/pipeline/runner.h"
+#include "src/runtime/job.h"
 
 namespace plumber {
 
 class Session;
+class JobHandle;
 struct OptimizedFlow;
+
+// Api-level alias for the submission options (see JobHandle in
+// job_handle.h for the rest of the job vocabulary).
+using JobOptions = runtime::JobOptions;
 
 namespace internal {
 struct SessionState;
 }  // namespace internal
 
-// The result of one Flow::Run window: throughput, latency, resource
-// use, and a per-node stats snapshot for diagnosis.
+// The result of one job's run window (Flow::Run / JobHandle::Wait):
+// throughput, latency, resource use, job timing, and a per-node stats
+// snapshot for diagnosis.
 struct RunReport {
   Status status;            // error observed mid-run, if any
   int64_t batches = 0;
   int64_t elements = 0;     // total components across batches
   uint64_t bytes_produced = 0;  // bytes out of the root node
+  // Job timing: queue_seconds is the admission wait (Submit -> run
+  // start; ~0 unless the executor's concurrency cap queued the job),
+  // wall_seconds the measured execution window.
+  double queue_seconds = 0;
   double wall_seconds = 0;
   double batches_per_second = 0;
   double elements_per_second = 0;
@@ -102,9 +113,20 @@ class Flow {
   // GraphBuilder-era tooling, the rewriter, or Pipeline::Create).
   StatusOr<GraphDef> Graph() const;
 
-  // Builds, runs, and measures the pipeline in one call. Honors
+  // Blocking-run sugar over the async job API: exactly Submit(options)
+  // + JobHandle::Wait(). The job goes through the session's shared
+  // Executor like any other submission — run alone it owns the machine
+  // and behaves as the classic single-tenant run (same RunReport, same
+  // deterministic results); submitted alongside other jobs it shares
+  // the modeled cores under the maximin arbiter. Honors
   // RunOptions.warmup_seconds (cache fill on the same iterator tree).
   StatusOr<RunReport> Run(const RunOptions& options) const;
+
+  // Asynchronous execution: enqueue this flow as a job on the
+  // session's shared Executor and return immediately. The handle
+  // exposes Wait/Cancel/Progress and stays valid after the Session is
+  // gone. Equivalent to Session::Submit(flow, options).
+  JobHandle Submit(JobOptions options = {}) const;
 
   // Hands the pipeline to the Plumber optimizer. The Session is the
   // source of truth for the environment: machine, fs, udfs, seed, and

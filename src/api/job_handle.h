@@ -1,0 +1,79 @@
+// JobHandle: the user-facing handle to one asynchronously submitted
+// pipeline run (Session::Submit / Flow::Submit).
+//
+//   Session session;
+//   Flow flow = session.Files("train/").Map("decode", 4).Batch(16);
+//   JobOptions opts;
+//   opts.run.max_seconds = 1;
+//   JobHandle job = session.Submit(flow, opts);   // returns immediately
+//   ... submit more jobs; the executor arbitrates the machine ...
+//   JobProgress live = job.Progress();            // live node stats
+//   auto report = job.Wait();                     // final RunReport
+//
+// A handle is a cheap copyable reference: it shares ownership of both
+// the job record and the session environment, so it remains fully
+// usable (Wait, Progress, Cancel) after the Session object itself is
+// gone. Dropping every handle does not cancel the job — it keeps
+// running to completion under the session's executor (fire and
+// forget); Cancel is always explicit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/api/flow.h"
+#include "src/runtime/job.h"
+
+namespace plumber {
+
+class Session;
+
+// Api-level aliases for the runtime vocabulary (JobOptions is aliased
+// in flow.h next to Flow::Submit).
+using JobPhase = runtime::JobPhase;
+using JobProgress = runtime::JobProgress;
+
+class JobHandle {
+ public:
+  // An empty handle; Wait/Progress report FailedPrecondition. Real
+  // handles come from Session::Submit / Flow::Submit.
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  // Submit-time error (e.g. an invalid flow), surfaced by Wait too.
+  const Status& status() const { return status_; }
+  // The job's label ("job-<id>" unless JobOptions named it).
+  const std::string& name() const;
+  JobPhase phase() const;
+
+  // Requests cooperative cancellation (idempotent; safe in any phase).
+  // The job finishes as kCancelled with its partial counts standing.
+  void Cancel() const;
+
+  // Blocks until the job finishes and assembles the final RunReport —
+  // the same report the blocking Flow::Run returns, plus
+  // queue_seconds. Instantiation failures and pre-admission cancels
+  // come back as the error status itself.
+  StatusOr<RunReport> Wait() const;
+
+  // Live snapshot: phase, driver counters, and per-node IteratorStats
+  // of the running pipeline (the final stats once finished).
+  JobProgress Progress() const;
+
+ private:
+  friend class Flow;
+  friend class Session;
+
+  JobHandle(std::shared_ptr<internal::SessionState> state,
+            runtime::JobPtr job)
+      : state_(std::move(state)), job_(std::move(job)) {}
+  explicit JobHandle(Status status) : status_(std::move(status)) {}
+
+  // Keeps the environment (filesystem, UDFs, executor) alive for as
+  // long as anyone can still observe the job.
+  std::shared_ptr<internal::SessionState> state_;
+  runtime::JobPtr job_;
+  Status status_;
+};
+
+}  // namespace plumber

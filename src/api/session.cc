@@ -40,6 +40,21 @@ void ApplyEnvironment(SessionState& state, OptimizeOptions* options) {
   }
 }
 
+runtime::Executor& GetExecutor(SessionState& state) {
+  std::lock_guard<std::mutex> lock(state.executor_mu);
+  if (state.executor == nullptr) {
+    // The factories capture the owning state: the executor is a member
+    // of it and is destroyed (cancelling + joining every job) first.
+    SessionState* raw = &state;
+    runtime::ExecutorOptions eopts;
+    eopts.max_concurrent_jobs = state.options.max_concurrent_jobs;
+    state.executor = std::make_unique<runtime::Executor>(
+        [raw] { return MakePipelineOptions(*raw); },
+        [raw] { return raw->options.machine; }, eopts);
+  }
+  return *state.executor;
+}
+
 }  // namespace internal
 
 Session::Session(SessionOptions options)
@@ -92,6 +107,14 @@ Flow Session::FromGraph(GraphDef graph) {
     flow.status_ = InvalidArgumentError("FromGraph: graph has no output set");
   }
   return flow;
+}
+
+JobHandle Session::Submit(const Flow& flow, JobOptions options) {
+  if (flow.status().ok() && flow.state_ != state_) {
+    return JobHandle(
+        InvalidArgumentError("Submit: flow belongs to a different session"));
+  }
+  return flow.Submit(std::move(options));
 }
 
 StatusOr<OptimizedFlow> Session::OptimizeBest(

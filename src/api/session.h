@@ -21,11 +21,14 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/flow.h"
+#include "src/api/job_handle.h"
 #include "src/core/machine.h"
+#include "src/runtime/executor.h"
 
 namespace plumber {
 
@@ -46,6 +49,11 @@ struct SessionOptions {
   // larger amortizes queue/lock overhead for cheap UDFs.
   // RunOptions.engine_batch_size overrides per run.
   int engine_batch_size = 0;
+  // Jobs the session's executor runs concurrently; 0 = unlimited
+  // (every Submit is admitted immediately and the maximin arbiter
+  // splits the modeled cores). >0 queues excess submissions, which
+  // shows up as RunReport::queue_seconds.
+  int max_concurrent_jobs = 0;
 };
 
 namespace internal {
@@ -58,6 +66,12 @@ struct SessionState {
   std::unique_ptr<StorageDevice> storage;
   SimFilesystem fs;
   UdfRegistry udfs;
+  // The shared multi-tenant runtime, created on first Submit (or the
+  // first Flow::Run, which is Submit + Wait). Declared last so it is
+  // destroyed first: shutdown cancels and joins every job while the
+  // filesystem/UDF registry above are still alive.
+  std::mutex executor_mu;
+  std::unique_ptr<runtime::Executor> executor;
 };
 
 // The only place the unified API turns session state into
@@ -66,6 +80,8 @@ PipelineOptions MakePipelineOptions(SessionState& state);
 // Overwrites the environment half of OptimizeOptions (machine, fs,
 // udfs, seed, work model, memory cap) from the session state.
 void ApplyEnvironment(SessionState& state, OptimizeOptions* options);
+// The session's executor, lazily created (thread-safe).
+runtime::Executor& GetExecutor(SessionState& state);
 
 }  // namespace internal
 
@@ -102,6 +118,22 @@ class Session {
   // under a benchmark run (the paper's pick_best annotation, §B).
   StatusOr<OptimizedFlow> OptimizeBest(const std::vector<GraphDef>& variants,
                                        OptimizeOptions options = {});
+
+  // -- Asynchronous execution ----------------------------------------
+  // Enqueues the flow as a job on this session's shared Executor and
+  // returns immediately. Concurrent jobs share the machine: the
+  // executor re-plans the modeled core budget across all live jobs
+  // (maximin across job rates) on every arrival and departure, and
+  // retargets running worker pools in place. The flow must belong to
+  // this session. See JobHandle for Wait/Cancel/Progress.
+  //
+  // Environment contract: running jobs read the session's filesystem
+  // and UDF registry through unsynchronized pointers, so environment
+  // mutation (CreateRecordFiles, RegisterUdf, AttachStorage, machine()
+  // edits) must not race live jobs — set the environment up first, or
+  // wait out submitted jobs before changing it. Submitting from
+  // multiple threads is safe.
+  JobHandle Submit(const Flow& flow, JobOptions options = {});
 
   // -- Accessors (the one source of truth) ---------------------------
   SimFilesystem& fs() { return state_->fs; }

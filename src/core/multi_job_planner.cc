@@ -1,0 +1,175 @@
+#include "src/core/multi_job_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/rewriter.h"
+#include "src/pipeline/ops.h"
+
+namespace plumber {
+namespace {
+
+// Cores needed to run this demand at unit rate: sum 1/R_i over every
+// costed stage — sequential stages occupy a core too, they just cannot
+// exceed one (the cap below).
+double CoresPerUnitRate(const JobDemand& demand) {
+  double cost = 0;
+  for (const MaxMinStage& stage : demand.stages) {
+    if (stage.rate_per_core <= 0) continue;
+    cost += 1.0 / stage.rate_per_core;
+  }
+  return cost;
+}
+
+// The job's rate ceiling: its sequential stages (theta <= 1) and the
+// integer caps on its parallel stages both bound the useful rate.
+double RateCap(const JobDemand& demand) {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const MaxMinStage& stage : demand.stages) {
+    if (stage.rate_per_core <= 0) continue;
+    if (stage.sequential) {
+      cap = std::min(cap, stage.rate_per_core);
+      continue;
+    }
+    auto it = demand.max_parallelism.find(stage.name);
+    if (it != demand.max_parallelism.end()) {
+      cap = std::min(cap, stage.rate_per_core * std::max(1, it->second));
+    }
+  }
+  return cap;
+}
+
+// Integerizes one job's fractional theta into parallelism grants the
+// same way the single-pipeline planner does: floor(theta) (min 1) per
+// stage, then hand out the whole cores the budget still covers by
+// largest fractional remainder, respecting the per-stage caps.
+void Integerize(const JobDemand& demand, const MaxMinSolution& solution,
+                double budget, LpPlan* plan) {
+  const auto cap_for = [&](const std::string& name) {
+    auto it = demand.max_parallelism.find(name);
+    return it == demand.max_parallelism.end()
+               ? std::numeric_limits<int>::max()
+               : std::max(1, it->second);
+  };
+  std::vector<std::pair<double, std::string>> remainders;
+  int granted = 0;
+  double sequential_demand = 0;
+  for (size_t i = 0; i < demand.stages.size(); ++i) {
+    const MaxMinStage& stage = demand.stages[i];
+    plan->theta[stage.name] = solution.theta[i];
+    if (stage.sequential) {
+      sequential_demand += solution.theta[i];
+      continue;
+    }
+    const double theta = solution.theta[i];
+    const double whole = std::floor(theta + 1e-9);
+    const int base =
+        std::min(cap_for(stage.name), std::max<int>(1, static_cast<int>(whole)));
+    plan->parallelism[stage.name] = base;
+    if (theta >= 1.0 - 1e-9) granted += base;
+    const double frac = theta - whole;
+    if (frac > 1e-6 && base < cap_for(stage.name)) {
+      remainders.emplace_back(frac, stage.name);
+    }
+  }
+  const int whole_budget = std::max(
+      1, static_cast<int>(std::floor(budget - sequential_demand + 1e-9)));
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (const auto& [frac, name] : remainders) {
+    if (granted >= whole_budget) break;
+    ++plan->parallelism[name];
+    ++granted;
+  }
+}
+
+}  // namespace
+
+MultiJobPlan PlanMultiJobAllocation(const std::vector<JobDemand>& demands,
+                                    double num_cores) {
+  MultiJobPlan out;
+  if (demands.empty() || num_cores <= 0) return out;
+
+  // Water-fill the maximin job rate X: every job still "active" at the
+  // waterline costs cost_j * X cores; jobs whose rate cap sits below
+  // the candidate waterline are frozen at their cap (consuming
+  // cost_j * cap_j) and the remaining budget re-splits among the rest.
+  struct Entry {
+    const JobDemand* demand;
+    double cost;
+    double cap;
+    double rate = 0;
+  };
+  std::vector<Entry> entries;
+  for (const JobDemand& demand : demands) {
+    Entry e{&demand, CoresPerUnitRate(demand), RateCap(demand)};
+    entries.push_back(e);
+  }
+  double remaining = num_cores;
+  std::vector<Entry*> active;
+  for (Entry& e : entries) {
+    if (e.cost > 0) active.push_back(&e);
+  }
+  while (!active.empty()) {
+    double total_cost = 0;
+    for (Entry* e : active) total_cost += e->cost;
+    const double waterline = remaining / total_cost;
+    // Freeze every job capped below the waterline; if none, the
+    // waterline is the final fair rate for the rest.
+    bool froze = false;
+    for (auto it = active.begin(); it != active.end();) {
+      if ((*it)->cap <= waterline) {
+        (*it)->rate = (*it)->cap;
+        remaining -= (*it)->cap * (*it)->cost;
+        it = active.erase(it);
+        froze = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!froze) {
+      for (Entry* e : active) e->rate = waterline;
+      out.fair_rate = waterline;
+      break;
+    }
+  }
+
+  // Per-job: split the job's budget across its own stages with the
+  // single-pipeline maximin solver, then integerize.
+  for (Entry& e : entries) {
+    LpPlan plan;
+    const double budget = e.rate * e.cost;
+    if (!e.demand->stages.empty() && budget > 0) {
+      const MaxMinSolution solution =
+          SolveMaxMin(e.demand->stages, budget);
+      plan.predicted_rate = solution.throughput;
+      plan.cpu_bound_rate = solution.throughput;
+      plan.cores_used = solution.cores_used;
+      plan.core_limited = solution.core_limited;
+      if (solution.bottleneck >= 0) {
+        plan.bottleneck = e.demand->stages[solution.bottleneck].name;
+      }
+      Integerize(*e.demand, solution, budget, &plan);
+      out.cores_used += solution.cores_used;
+    }
+    out.jobs[e.demand->job_id] = std::move(plan);
+  }
+  return out;
+}
+
+JobDemand DemandFromGraph(std::string job_id, const GraphDef& graph) {
+  JobDemand demand;
+  demand.job_id = std::move(job_id);
+  for (const std::string& node : rewriter::TunableNodes(graph)) {
+    MaxMinStage stage;
+    stage.name = node;
+    stage.rate_per_core = 1.0;  // untraced: assume uniform per-core rates
+    demand.stages.push_back(std::move(stage));
+    const NodeDef* def = graph.FindNode(node);
+    demand.max_parallelism[node] =
+        std::max(1, static_cast<int>(def->GetInt(kAttrParallelism, 1)));
+  }
+  return demand;
+}
+
+}  // namespace plumber

@@ -1,0 +1,63 @@
+// Multi-job core arbitration: one machine core budget split across N
+// concurrently running pipeline graphs (the serving-side extension of
+// paper §4.3's single-pipeline max-min allocation).
+//
+// Fairness model: maximin over *job rates*. Each job j exposes its
+// parallelizable stages (rate-per-core R_i); running job j at rate X
+// costs sum_i X / R_i cores, and a job's sequential stages cap its
+// achievable rate. Water-filling equalizes the rate of every uncapped
+// job — the same objective SolveMaxMin applies to stages within one
+// pipeline, lifted one level up — so no job starves while another
+// hoards cores, and a job whose sequential cap binds releases its
+// surplus to the rest. Within each job the budget is then split across
+// its stages by the existing single-pipeline solver, and integerized
+// the same way the planner does (floor + largest remainder, min 1
+// worker per stage).
+//
+// Rates come from a traced PipelineModel when the caller has one;
+// DemandFromGraph builds the untraced fallback (uniform rate 1 per
+// tunable stage), under which the split degenerates to equal rates =
+// cores proportional to stage counts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/lp/maximin_allocator.h"
+#include "src/pipeline/graph_def.h"
+
+namespace plumber {
+
+// One live job's demand on the shared machine.
+struct JobDemand {
+  std::string job_id;
+  // Parallelizable stages (name + rate per core); sequential = true
+  // entries cap the job's rate at R_i instead of consuming budget.
+  std::vector<MaxMinStage> stages;
+  // Upper bound on each stage's integer grant (the configured knob):
+  // arbitration only ever scales a job down from what the user or
+  // optimizer configured, never silently above it. Empty = uncapped.
+  std::map<std::string, int> max_parallelism;
+};
+
+struct MultiJobPlan {
+  // The equalized (maximin) job rate; capped jobs run below it.
+  double fair_rate = 0;
+  double cores_used = 0;
+  // Per-job plan: theta + integer parallelism grants, keyed by job_id.
+  // Feed each to rewriter::ApplyParallelismPlan / the governor.
+  std::map<std::string, LpPlan> jobs;
+};
+
+// Splits `num_cores` across the demands. Jobs with no parallelizable
+// stages receive an empty plan (they run sequentially regardless).
+MultiJobPlan PlanMultiJobAllocation(const std::vector<JobDemand>& demands,
+                                    double num_cores);
+
+// Untraced demand: every tunable node of `graph` is one stage at
+// uniform rate 1, capped at its configured parallelism attr.
+JobDemand DemandFromGraph(std::string job_id, const GraphDef& graph);
+
+}  // namespace plumber

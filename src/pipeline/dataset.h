@@ -16,6 +16,7 @@
 #include "src/pipeline/element.h"
 #include "src/pipeline/graph_def.h"
 #include "src/pipeline/iterator_stats.h"
+#include "src/pipeline/parallelism_governor.h"
 #include "src/pipeline/udf.h"
 #include "src/util/status.h"
 
@@ -48,6 +49,12 @@ struct PipelineContext {
   // pre-batching engine; larger values amortize queue/lock overhead
   // when UDFs are cheap. Does not change what elements are produced.
   int engine_batch_size = 1;
+  // Live parallelism control (multi-tenant execution). When set,
+  // worker-pool iterators register resize listeners and honor published
+  // per-node targets; null means worker counts are fixed at
+  // instantiation from the graph attrs (the classic single-tenant
+  // engine, zero overhead).
+  GovernorPtr governor;
   std::shared_ptr<std::atomic<bool>> cancelled =
       std::make_shared<std::atomic<bool>>(false);
 

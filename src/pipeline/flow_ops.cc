@@ -27,17 +27,24 @@ class ShuffleIterator : public IteratorBase {
 
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
-    // Fill phase: top the buffer up to capacity.
+    // Fill phase: top the buffer up to capacity, claiming the whole
+    // deficit per GetNextBatch call — one cancellation check and CPU
+    // scope on the input per refill, and a queue-backed input (parallel
+    // map, prefetch) hands the batch over under one lock. Elements
+    // arrive in the same order repeated GetNext would deliver, so the
+    // shuffle draws (and therefore the output) are unchanged.
     while (!input_exhausted_ && buffer_.size() < buffer_size_) {
-      Element in;
+      const size_t before = buffer_.size();
       bool in_end = false;
-      RETURN_IF_ERROR(input_->GetNext(&in, &in_end));
+      RETURN_IF_ERROR(
+          input_->GetNextBatch(&buffer_, buffer_size_ - before, &in_end));
+      if (buffer_.size() > before) {
+        stats_->RecordConsumedBatch(buffer_.size() - before);
+      }
       if (in_end) {
         input_exhausted_ = true;
         break;
       }
-      stats_->RecordConsumed();
-      buffer_.push_back(std::move(in));
     }
     if (buffer_.empty()) {
       *end = true;
@@ -176,18 +183,22 @@ class ShuffleAndRepeatIterator : public IteratorBase {
         ASSIGN_OR_RETURN(input_, input_dataset_->MakeIterator(ctx_));
         rng_ = Rng(SplitMix64(seed_ ^ static_cast<uint64_t>(epoch_)));
       }
+      // Whole-deficit refill claims, same as ShuffleIterator above;
+      // identical element order keeps the per-epoch draws unchanged.
       while (!input_exhausted_ && buffer_.size() < buffer_size_) {
-        Element in;
+        const size_t before = buffer_.size();
         bool in_end = false;
-        RETURN_IF_ERROR(input_->GetNext(&in, &in_end));
+        RETURN_IF_ERROR(
+            input_->GetNextBatch(&buffer_, buffer_size_ - before, &in_end));
+        if (buffer_.size() > before) {
+          stats_->RecordConsumedBatch(buffer_.size() - before);
+          saw_elements_this_run_ = true;
+        }
         if (in_end) {
           input_exhausted_ = true;
           input_.reset();
           break;
         }
-        stats_->RecordConsumed();
-        saw_elements_this_run_ = true;
-        buffer_.push_back(std::move(in));
       }
       if (!buffer_.empty()) {
         const size_t idx = rng_.UniformInt(buffer_.size());

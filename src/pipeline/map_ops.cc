@@ -1,5 +1,8 @@
 // Map (sequential + parallel) and filter operators.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <optional>
 #include <thread>
@@ -72,34 +75,53 @@ class SequentialMapIterator : public IteratorBase {
 // element, and hands the results off in one PushBatch; the consumer
 // drains whole batches per queue lock. batch size 1 degenerates to the
 // classic element-at-a-time engine.
+//
+// The worker pool is retargetable while running (multi-tenant
+// arbitration): when the pipeline carries a ParallelismGovernor, the
+// iterator registers a resize listener and Resize() parks workers
+// above the target (they sleep off the input lock) or spawns new ones
+// up to it. Order tickets are claimed under the input lock exactly as
+// before, so deterministic output is unchanged by any resize history.
 class ParallelMapIterator : public IteratorBase {
  public:
   ParallelMapIterator(PipelineContext* ctx, IteratorStats* stats,
                       std::unique_ptr<IteratorBase> input, const UdfSpec* udf,
-                      int parallelism, bool deterministic, uint64_t seed)
+                      int parallelism, int initial_target, bool deterministic,
+                      uint64_t seed)
       : IteratorBase(ctx, stats),
         input_(std::move(input)),
         udf_(udf),
-        parallelism_(parallelism),
+        configured_(parallelism),
         deterministic_(deterministic),
         seed_(seed),
         // Deep enough to ride out bursty consumers (a shuffle refill or
         // batch assembly drains several items back-to-back): 2x the
         // worker count stalls the pool whenever the consumer pauses for
-        // longer than one element's work.
-        queue_(static_cast<size_t>(std::max(8, parallelism * 4))),
+        // longer than one element's work. Sized once for the larger of
+        // the configured and initial worker counts; a later resize
+        // beyond that still works, just with more queue blocking.
+        queue_(static_cast<size_t>(
+            std::max(8, std::max(parallelism, initial_target) * 4))),
         batch_size_(
             ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
         consumer_(&queue_, batch_size_) {
-    stats_->SetParallelism(parallelism_);
-    active_workers_.store(parallelism_);
-    workers_.reserve(parallelism_);
-    for (int i = 0; i < parallelism_; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+    stats_->SetParallelism(initial_target);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      target_.store(initial_target, std::memory_order_relaxed);
+      SpawnLocked(initial_target);
+    }
+    if (ctx_->governor != nullptr) {
+      governor_id_ = ctx_->governor->Register(
+          stats_->name(), configured_, [this](int t) { Resize(t); });
     }
   }
 
   ~ParallelMapIterator() override {
+    // Unregister first: after this returns no Resize callback can run,
+    // so the worker vector is stable for the joins below.
+    if (ctx_->governor != nullptr) ctx_->governor->Unregister(governor_id_);
+    SignalDone();
     queue_.Cancel();
     {
       std::lock_guard<std::mutex> lock(input_mu_);
@@ -165,9 +187,58 @@ class ParallelMapIterator : public IteratorBase {
     bool end = false;
   };
 
-  void WorkerLoop() {
+  // Grows or shrinks the live worker target. Called from the
+  // governor's SetTarget (under the governor lock); never runs
+  // concurrently with the destructor, which unregisters first.
+  void Resize(int target) {
+    target = std::max(1, target);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      target_.store(target, std::memory_order_relaxed);
+      // No new workers once the input side finished: they would exit
+      // immediately and could double-push the end sentinel.
+      if (!done_.load(std::memory_order_acquire)) SpawnLocked(target);
+    }
+    park_cv_.notify_all();
+    stats_->SetParallelism(target);
+  }
+
+  void SpawnLocked(int target) {
+    while (static_cast<int>(workers_.size()) < target) {
+      const int index = static_cast<int>(workers_.size());
+      active_workers_.fetch_add(1);
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
+    }
+  }
+
+  // Marks the input side finished and wakes parked workers so they can
+  // exit (and release the end sentinel).
+  void SignalDone() {
+    done_.store(true, std::memory_order_release);
+    park_cv_.notify_all();
+  }
+
+  // Blocks while this worker's slot is above the live target. Returns
+  // false when the worker should exit instead of claiming. Cancellation
+  // has no wakeup channel into the park, so re-check on a short tick.
+  bool ParkUntilActive(int index) {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    for (;;) {
+      if (done_.load(std::memory_order_acquire) || ctx_->is_cancelled()) {
+        return false;
+      }
+      if (index < target_.load(std::memory_order_relaxed)) return true;
+      park_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  void WorkerLoop(int index) {
     for (;;) {
       if (ctx_->is_cancelled()) break;
+      if (index >= target_.load(std::memory_order_relaxed) &&
+          !ParkUntilActive(index)) {
+        break;
+      }
       std::vector<Element> claimed;
       claimed.reserve(batch_size_);
       bool end = false;
@@ -187,6 +258,7 @@ class ParallelMapIterator : public IteratorBase {
           stats_->RecordConsumedBatch(claimed.size());
         }
       }
+      if (!status.ok() || end) SignalDone();
       if (!claimed.empty()) {
         std::vector<Item> results;
         results.reserve(claimed.size());
@@ -216,7 +288,7 @@ class ParallelMapIterator : public IteratorBase {
 
   std::unique_ptr<IteratorBase> input_;
   const UdfSpec* udf_;
-  const int parallelism_;
+  const int configured_;
   const bool deterministic_;
   const uint64_t seed_;
 
@@ -227,6 +299,13 @@ class ParallelMapIterator : public IteratorBase {
   BoundedQueue<Item> queue_;
   const size_t batch_size_;
   std::atomic<int> active_workers_{0};
+  // Live worker control: workers_ grows under park_mu_ (Resize), never
+  // shrinks until destruction; workers indexed >= target_ park.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> target_{0};
+  std::atomic<bool> done_{false};
+  uint64_t governor_id_ = 0;
   std::vector<std::thread> workers_;
 
   // Consumer-side state (accessed only from GetNext).
@@ -249,8 +328,16 @@ StatusOr<std::unique_ptr<IteratorBase>> MapDataset::MakeIterator(
     return std::unique_ptr<IteratorBase>(new SequentialMapIterator(
         ctx, stats, std::move(input), udf_, seed));
   }
+  // A published governor target (multi-tenant grant) bounds the live
+  // worker count from the start; the graph attr stays the configured
+  // demand a later resize can grow back to.
+  int initial = p;
+  if (ctx->governor != nullptr) {
+    const int t = ctx->governor->Target(def_.name);
+    if (t > 0) initial = t;
+  }
   return std::unique_ptr<IteratorBase>(new ParallelMapIterator(
-      ctx, stats, std::move(input), udf_, p, deterministic(), seed));
+      ctx, stats, std::move(input), udf_, p, initial, deterministic(), seed));
 }
 
 // ---------------------------------------------------------------- filter

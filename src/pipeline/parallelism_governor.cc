@@ -1,0 +1,39 @@
+#include "src/pipeline/parallelism_governor.h"
+
+namespace plumber {
+
+void ParallelismGovernor::SetTarget(const std::string& node, int target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target <= 0) {
+    targets_.erase(node);
+  } else {
+    targets_[node] = target;
+  }
+  for (auto& [id, listener] : listeners_) {
+    (void)id;
+    if (listener.node != node) continue;
+    listener.on_resize(target > 0 ? target : listener.configured);
+  }
+}
+
+int ParallelismGovernor::Target(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = targets_.find(node);
+  return it == targets_.end() ? 0 : it->second;
+}
+
+uint64_t ParallelismGovernor::Register(const std::string& node,
+                                       int configured,
+                                       std::function<void(int)> on_resize) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  listeners_[id] = Listener{node, configured, std::move(on_resize)};
+  return id;
+}
+
+void ParallelismGovernor::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(id);
+}
+
+}  // namespace plumber

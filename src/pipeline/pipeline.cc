@@ -24,6 +24,7 @@ Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
   int batch = options.engine_batch_size;
   if (batch <= 0) batch = GraphEngineBatchSize(graph_);
   ctx_.engine_batch_size = std::max(1, batch);
+  ctx_.governor = options.governor;
 }
 
 StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(

@@ -29,6 +29,9 @@ struct PipelineOptions {
   // (1 = classic element-at-a-time engine) that wins over any
   // graph-recorded value. See PipelineContext::engine_batch_size.
   int engine_batch_size = 0;
+  // Live parallelism control for multi-tenant execution (see
+  // PipelineContext::governor). Null = fixed worker counts.
+  GovernorPtr governor;
 };
 
 class Pipeline {

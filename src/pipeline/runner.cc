@@ -7,11 +7,16 @@
 
 namespace plumber {
 
-RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
+RunResult RunIterator(IteratorBase* iterator, const RunOptions& options,
+                      const RunHooks& hooks) {
   RunResult result;
   Element element;
+  const auto should_stop = [&] {
+    return hooks.should_stop && hooks.should_stop();
+  };
   // Warmup (not measured).
   for (int64_t i = 0; i < options.warmup_batches; ++i) {
+    if (should_stop()) return result;
     bool end = false;
     result.status = iterator->GetNext(&element, &end);
     if (!result.status.ok() || end) {
@@ -23,6 +28,7 @@ RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
     const int64_t warm_deadline =
         WallNanos() + static_cast<int64_t>(options.warmup_seconds * 1e9);
     while (WallNanos() < warm_deadline) {
+      if (should_stop()) return result;
       bool end = false;
       result.status = iterator->GetNext(&element, &end);
       if (!result.status.ok() || end) {
@@ -47,6 +53,7 @@ RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
       break;
     }
     if (deadline > 0 && WallNanos() >= deadline) break;
+    if (should_stop()) break;
     bool end = false;
     const int64_t t0 = WallNanos();
     result.status = iterator->GetNext(&element, &end);
@@ -58,6 +65,7 @@ RunResult RunIterator(IteratorBase* iterator, const RunOptions& options) {
     }
     ++result.batches;
     result.examples += static_cast<int64_t>(element.components.size());
+    if (hooks.on_batch) hooks.on_batch(result.batches, result.examples);
     if (options.model_step_seconds > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(options.model_step_seconds));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "src/pipeline/pipeline.h"
 
@@ -49,10 +50,24 @@ struct RunResult {
   bool reached_end = false;
 };
 
+// Live observation and control of a run in flight. Default-constructed
+// hooks are no-ops: RunIterator(it, options) == RunIterator(it,
+// options, {}) batch for batch. The async executor (src/runtime/) uses
+// these to surface JobHandle::Progress() and to stop a job promptly on
+// Cancel without waiting for a stop condition.
+struct RunHooks {
+  // Called after every measured batch with the running totals.
+  std::function<void(int64_t batches, int64_t elements)> on_batch;
+  // Extra stop condition, checked before every GetNext (including
+  // warmup). Returning true ends the run like a deadline would.
+  std::function<bool()> should_stop;
+};
+
 // Creates a fresh iterator from the pipeline and drives it.
 RunResult RunPipeline(Pipeline& pipeline, const RunOptions& options);
 
 // Drives an existing iterator (keeps caches/progress across calls).
-RunResult RunIterator(IteratorBase* iterator, const RunOptions& options);
+RunResult RunIterator(IteratorBase* iterator, const RunOptions& options,
+                      const RunHooks& hooks = {});
 
 }  // namespace plumber

@@ -1,0 +1,93 @@
+// Executor: the shared multi-tenant runtime behind Session::Submit.
+//
+// One Executor serves one Session's modeled machine. Submit enqueues a
+// Job and returns immediately; a scheduler thread admits jobs (up to
+// max_concurrent_jobs at a time), instantiates their pipelines, and
+// spawns one driver thread per job to run the measurement loop. On
+// every arrival and departure the scheduler re-arbitrates the
+// machine's modeled cores across all live jobs with the maximin
+// allocator (src/core/multi_job_planner): each job's grant is recorded
+// in its planned graph via rewriter::ApplyParallelismPlan and pushed
+// into its running pipeline through a ParallelismGovernor, which grows
+// or parks parallel-map worker pools in place. A job running alone is
+// never arbitrated — its pipeline behaves exactly as the blocking
+// single-tenant Flow::Run always did — and when departures leave a
+// single survivor its configured knobs are restored.
+//
+// Lifetime: the Executor owns the scheduler and driver threads and
+// keeps every unfinished job alive; destruction cancels all jobs and
+// joins everything. Handles (shared_ptr<Job>) stay valid after the
+// Executor (and its Session) are gone.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/runtime/job.h"
+
+namespace plumber {
+namespace runtime {
+
+struct ExecutorOptions {
+  // Jobs allowed to run concurrently; 0 = unlimited (every submission
+  // is admitted at the next scheduler tick, cores arbitrated by the
+  // planner rather than by queueing).
+  int max_concurrent_jobs = 0;
+};
+
+class Executor {
+ public:
+  // `pipeline_options` derives instantiation options per admission and
+  // `machine` supplies the core budget per re-plan; both are invoked
+  // on executor threads and must stay valid for the executor's life
+  // (the Session's state owns both the factories' target and the
+  // executor itself).
+  Executor(std::function<PipelineOptions()> pipeline_options,
+           std::function<MachineSpec()> machine,
+           ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Enqueues a job for admission. Never blocks; failures (including
+  // submission after shutdown) surface through the job's phase/result.
+  JobPtr Submit(GraphDef graph, JobOptions options);
+
+  int live_jobs() const;
+  int queued_jobs() const;
+
+ private:
+  void SchedulerLoop();
+  void AdmitLocked(JobPtr job);
+  // Recomputes the multi-job core split over the live set and applies
+  // it (planned graphs + governor targets). Single survivor gets its
+  // configured knobs back; a job running alone is never touched.
+  void ReplanLocked();
+  void DriverLoop(JobPtr job);
+  void FinishWithoutRunning(Job* job, JobPhase phase, Status status);
+  void JoinFinishedDriversLocked();
+
+  const std::function<PipelineOptions()> pipeline_options_;
+  const std::function<MachineSpec()> machine_;
+  const ExecutorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t next_job_id_ = 1;
+  std::deque<JobPtr> pending_;
+  std::map<uint64_t, JobPtr> live_;
+  std::map<uint64_t, std::thread> drivers_;
+  std::vector<uint64_t> finished_driver_ids_;
+  std::thread scheduler_;
+};
+
+}  // namespace runtime
+}  // namespace plumber

@@ -1,0 +1,120 @@
+#include "src/runtime/job.h"
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace runtime {
+
+const char* JobPhaseName(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kDone:
+      return "done";
+    case JobPhase::kCancelled:
+      return "cancelled";
+    case JobPhase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Job::Job(uint64_t id, std::string name, GraphDef graph, JobOptions options)
+    : id_(id),
+      name_(std::move(name)),
+      output_node_(graph.output()),
+      options_(std::move(options)),
+      graph_(graph),
+      planned_graph_(std::move(graph)),
+      submit_ns_(WallNanos()) {}
+
+JobPhase Job::phase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phase_;
+}
+
+bool Job::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phase_ != JobPhase::kQueued && phase_ != JobPhase::kRunning;
+}
+
+bool Job::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return start_ns_ > 0;
+}
+
+void Job::Cancel() {
+  cancel_requested_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Trip the per-job cancellation token: the driver (and every worker
+  // inside the pipeline) observes it cooperatively. A queued job is
+  // finished by the scheduler on its next tick.
+  if (pipeline_ != nullptr) pipeline_->Cancel();
+}
+
+void Job::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  finished_cv_.wait(lock, [&] {
+    return phase_ != JobPhase::kQueued && phase_ != JobPhase::kRunning;
+  });
+}
+
+// The end of a job's queueing: run start, or — for jobs that never ran
+// (cancelled while queued, failed instantiation) — the terminal
+// timestamp, so queue_seconds stops growing once the job is finished.
+// Requires mu_.
+static int64_t QueueEndNanos(int64_t start_ns, int64_t finish_ns) {
+  if (start_ns > 0) return start_ns;
+  if (finish_ns > 0) return finish_ns;
+  return WallNanos();
+}
+
+JobProgress Job::Progress() const {
+  JobProgress progress;
+  std::lock_guard<std::mutex> lock(mu_);
+  progress.phase = phase_;
+  progress.batches = batches_.load(std::memory_order_relaxed);
+  progress.elements = elements_.load(std::memory_order_relaxed);
+  progress.queue_seconds =
+      (QueueEndNanos(start_ns_, finish_ns_) - submit_ns_) * 1e-9;
+  if (start_ns_ > 0) {
+    progress.run_seconds =
+        ((finish_ns_ > 0 ? finish_ns_ : WallNanos()) - start_ns_) * 1e-9;
+  }
+  progress.node_stats =
+      pipeline_ != nullptr ? pipeline_->stats().Snapshot() : final_stats_;
+  return progress;
+}
+
+double Job::queue_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (QueueEndNanos(start_ns_, finish_ns_) - submit_ns_) * 1e-9;
+}
+
+GraphDef Job::planned_graph() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return planned_graph_;
+}
+
+void Job::Finish(JobPhase phase, RunResult result,
+                 std::vector<IteratorStatsSnapshot> stats) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_ = phase;
+    result_ = std::move(result);
+    final_stats_ = std::move(stats);
+    finish_ns_ = WallNanos();
+    // Tear the execution down inside the lock so Progress() never
+    // observes a half-destroyed pipeline; destruction joins the
+    // pipeline's worker threads (the token is already tripped).
+    if (pipeline_ != nullptr) pipeline_->Cancel();
+    iterator_.reset();
+    pipeline_.reset();
+  }
+  finished_cv_.notify_all();
+}
+
+}  // namespace runtime
+}  // namespace plumber

@@ -135,6 +135,54 @@ TEST(EngineBatchTest, FilterStatsConservationUnderBatching) {
   EXPECT_LT(kept, 100u);  // keep_half actually dropped elements
 }
 
+TEST(EngineBatchTest, ShuffleRefillClaimsBatchesIdentical) {
+  // The shuffle refill claims its whole buffer deficit from the input
+  // per GetNextBatch call; elements arrive in the order repeated
+  // GetNext would deliver, so draws — and therefore outputs — are
+  // identical at every engine batch size, including across a parallel
+  // (deterministic) producer.
+  PipelineTestEnv env(4, 25, 48);
+  for (const bool fused_repeat : {false, true}) {
+    GraphBuilder b;
+    auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+    n = b.Map("m", n, "double_size", 4, /*deterministic=*/true);
+    n = fused_repeat ? b.ShuffleAndRepeat("shf", n, 32, /*count=*/2)
+                     : b.Shuffle("shf", n, 32, 7);
+    n = b.Batch("bt", n, 4, /*drop_remainder=*/false);
+    const GraphDef graph = std::move(b.Build(n)).value();
+    const auto reference = RunChain(env, graph, 1);
+    ASSERT_FALSE(reference.empty());
+    for (int batch : {2, 8, 64}) {
+      ExpectIdenticalOutput(reference, RunChain(env, graph, batch));
+    }
+  }
+}
+
+TEST(EngineBatchTest, ShuffleStatsConservationUnderBatching) {
+  PipelineTestEnv env(4, 25, 48);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("m", n, "double_size", 4, /*deterministic=*/true);
+  n = b.Shuffle("shf", n, 32, 7);
+  const GraphDef graph = std::move(b.Build(n)).value();
+  PipelineOptions options = env.Options();
+  options.engine_batch_size = 16;
+  auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+  const size_t drained = Drain(*pipeline).size();
+  const auto snap = pipeline->stats().Snapshot();
+  auto find = [&](const std::string& name) {
+    for (const auto& s : snap) {
+      if (s.name == name) return s;
+    }
+    return IteratorStatsSnapshot{};
+  };
+  // Batched refill claims must count every element exactly once.
+  EXPECT_EQ(drained, 100u);
+  EXPECT_EQ(find("shf").elements_consumed, 100u);
+  EXPECT_EQ(find("shf").elements_produced, 100u);
+  EXPECT_EQ(find("m").elements_produced, 100u);
+}
+
 TEST(EngineBatchTest, BatchedCombineOpsIdentical) {
   PipelineTestEnv env(4, 25, 48);
   GraphBuilder b;

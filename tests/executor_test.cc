@@ -1,0 +1,391 @@
+// Executor lifecycle and multi-tenant arbitration tests: concurrent
+// Submit, mid-run Cancel, handles outliving their Session, fairness
+// under maximin re-planning, queueing under a concurrency cap, and the
+// multi-job planner's water-filling itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/core/multi_job_planner.h"
+#include "src/core/plumber.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::Drain;
+using testing_util::PipelineTestEnv;
+using testing_util::SizeFingerprint;
+
+// Polls a condition until it holds or the deadline passes. Executor
+// scheduling is asynchronous (50ms ticks), so state assertions poll.
+bool PollUntil(const std::function<bool()>& cond, double seconds = 20) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+Session MakeSession(int num_cores, int max_concurrent = 0) {
+  SessionOptions so;
+  so.machine.num_cores = num_cores;
+  so.max_concurrent_jobs = max_concurrent;
+  Session session(std::move(so));
+  EXPECT_TRUE(session.CreateRecordFiles("train/part-", 4, 50, 64).ok());
+  UdfSpec work;
+  work.name = "work";
+  work.cost_ns_per_element = 1e6;  // 1ms: modeled occupancy, kTimed
+  EXPECT_TRUE(session.RegisterUdf(work).ok());
+  UdfSpec fast;
+  fast.name = "fast";
+  fast.size_ratio = 2.0;
+  EXPECT_TRUE(session.RegisterUdf(fast).ok());
+  return session;
+}
+
+int LiveParallelism(const JobHandle& job, const std::string& node) {
+  for (const auto& s : job.Progress().node_stats) {
+    if (s.name == node) return s.parallelism;
+  }
+  return -1;
+}
+
+TEST(ExecutorTest, SubmitWaitMatchesBlockingRunReport) {
+  // Flow::Run is Submit + Wait; both must match the low-level
+  // single-tenant reference (same pipeline machinery, same counters).
+  Session session = MakeSession(8);
+  const Flow flow = session.Files("train/")
+                        .Interleave(2)
+                        .Map("fast", 4).Named("m")
+                        .Batch(10);
+  RunOptions window;
+  window.max_batches = 1000;  // finite input: runs to the end
+
+  PipelineOptions popts = session.MakePipelineOptions();
+  auto reference =
+      std::move(Pipeline::Create(std::move(flow.Graph()).value(), popts))
+          .value();
+  const RunResult low_level = RunPipeline(*reference, window);
+  ASSERT_TRUE(low_level.status.ok());
+  ASSERT_TRUE(low_level.reached_end);
+
+  const auto via_run = flow.Run(window);
+  ASSERT_TRUE(via_run.ok()) << via_run.status();
+  JobHandle handle = session.Submit(flow, JobOptions{window, "explicit"});
+  const auto via_submit = handle.Wait();
+  ASSERT_TRUE(via_submit.ok()) << via_submit.status();
+  EXPECT_EQ(handle.phase(), JobPhase::kDone);
+  EXPECT_EQ(handle.name(), "explicit");
+
+  for (const RunReport* report : {&*via_run, &*via_submit}) {
+    EXPECT_TRUE(report->status.ok());
+    EXPECT_TRUE(report->reached_end);
+    EXPECT_EQ(report->batches, low_level.batches);
+    EXPECT_EQ(report->elements, low_level.examples);
+    EXPECT_GT(report->bytes_produced, 0u);
+    EXPECT_GE(report->queue_seconds, 0.0);
+    const IteratorStatsSnapshot* map = report->FindNode("m");
+    ASSERT_NE(map, nullptr);
+    // A job running alone is never arbitrated: configured knob stands.
+    EXPECT_EQ(map->parallelism, 4);
+    EXPECT_EQ(map->elements_produced, 200u);
+  }
+}
+
+TEST(ExecutorTest, ConcurrentSubmitAllJobsComplete) {
+  Session session = MakeSession(8);
+  RunOptions window;
+  window.max_batches = 2000;
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 4; ++i) {
+    // Heterogeneous mix: two expensive, two cheap pipelines.
+    Flow flow = i % 2 == 0
+                    ? session.Range(60).Map("work", 2).Named("m")
+                    : session.Files("train/").Interleave(2).Map("fast", 2);
+    jobs.push_back(session.Submit(flow, JobOptions{window, ""}));
+  }
+  int64_t total_elements = 0;
+  for (JobHandle& job : jobs) {
+    const auto report = job.Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(job.phase(), JobPhase::kDone);
+    EXPECT_TRUE(report->reached_end);
+    total_elements += report->elements;
+  }
+  EXPECT_EQ(total_elements, 60 + 60 + 200 + 200);
+}
+
+TEST(ExecutorTest, MidRunCancelStopsPromptly) {
+  Session session = MakeSession(8);
+  RunOptions window;
+  window.max_seconds = 60;  // failsafe; the test cancels long before
+  JobHandle job =
+      session.Submit(session.Range(1 << 30).Map("work", 2), JobOptions{window, ""});
+  ASSERT_TRUE(PollUntil([&] { return job.Progress().batches > 0; }));
+  EXPECT_EQ(job.phase(), JobPhase::kRunning);
+  const auto t0 = std::chrono::steady_clock::now();
+  job.Cancel();
+  const auto report = job.Wait();
+  const double cancel_latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(job.phase(), JobPhase::kCancelled);
+  // Cooperative cancel is a clean outcome: partial counts stand.
+  EXPECT_TRUE(report->status.ok());
+  EXPECT_GT(report->batches, 0);
+  EXPECT_FALSE(report->reached_end);
+  EXPECT_LT(cancel_latency, 30.0);
+}
+
+TEST(ExecutorTest, HandleOutlivesSession) {
+  JobHandle job;
+  {
+    Session session = MakeSession(4);
+    RunOptions window;
+    window.max_seconds = 60;
+    job = session.Submit(session.Range(1 << 30).Map("work", 2),
+                         JobOptions{window, ""});
+    ASSERT_TRUE(PollUntil([&] { return job.Progress().batches > 0; }));
+  }  // Session destroyed; the handle keeps the environment alive.
+  EXPECT_EQ(job.phase(), JobPhase::kRunning);
+  EXPECT_GT(job.Progress().batches, 0);
+  job.Cancel();
+  const auto report = job.Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(job.phase(), JobPhase::kCancelled);
+}
+
+TEST(ExecutorTest, MaximinReplanningIsFairAndRestores) {
+  // Three identical jobs demanding 8 workers each on an 8-core
+  // machine: the maximin split grants each the same share (no job
+  // starves), and the last survivor gets its configured knob back.
+  Session session = MakeSession(8);
+  RunOptions window;
+  window.max_seconds = 60;
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(session.Submit(
+        session.Range(1 << 30).Map("work", 8).Named("m"),
+        JobOptions{window, ""}));
+  }
+  // All three arbitrated to the fair share: floor(8/3) = 2 workers.
+  ASSERT_TRUE(PollUntil([&] {
+    for (JobHandle& job : jobs) {
+      if (LiveParallelism(job, "m") != 2) return false;
+    }
+    return true;
+  })) << LiveParallelism(jobs[0], "m") << " "
+      << LiveParallelism(jobs[1], "m") << " "
+      << LiveParallelism(jobs[2], "m");
+  // No job starves under the split: every job keeps making progress.
+  std::vector<int64_t> before;
+  for (JobHandle& job : jobs) before.push_back(job.Progress().batches);
+  ASSERT_TRUE(PollUntil([&] {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].Progress().batches <= before[i]) return false;
+    }
+    return true;
+  }));
+  // Departures hand cores back: cancel two, the survivor grows to its
+  // configured 8 workers (target cleared, pool resized in place).
+  jobs[0].Cancel();
+  jobs[1].Cancel();
+  ASSERT_TRUE(PollUntil([&] { return LiveParallelism(jobs[2], "m") == 8; }));
+  jobs[2].Cancel();
+  for (JobHandle& job : jobs) {
+    const auto report = job.Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(job.phase(), JobPhase::kCancelled);
+    EXPECT_GT(report->batches, 0);
+  }
+}
+
+TEST(ExecutorTest, ConcurrencyCapQueuesAndReportsQueueSeconds) {
+  Session session = MakeSession(8, /*max_concurrent=*/1);
+  RunOptions window;
+  window.max_batches = 150;
+  const Flow flow = session.Range(150).Map("work", 2);
+  JobHandle first = session.Submit(flow, JobOptions{window, ""});
+  JobHandle second = session.Submit(flow, JobOptions{window, ""});
+  const auto r1 = first.Wait();
+  const auto r2 = second.Wait();
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // 150 elements at 1ms/2 workers ~ 75ms of run time for the first
+  // job; the second waited for all of it.
+  EXPECT_GT(r2->queue_seconds, r1->queue_seconds);
+  EXPECT_GT(r2->queue_seconds, 0.03);
+}
+
+TEST(ExecutorTest, CancelWhileQueuedNeverRuns) {
+  Session session = MakeSession(8, /*max_concurrent=*/1);
+  RunOptions window;
+  window.max_seconds = 60;
+  JobHandle blocker = session.Submit(session.Range(1 << 30).Map("work", 2),
+                                     JobOptions{window, ""});
+  ASSERT_TRUE(PollUntil([&] { return blocker.Progress().batches > 0; }));
+  JobHandle queued = session.Submit(session.Range(100).Map("fast", 2),
+                                    JobOptions{window, ""});
+  EXPECT_EQ(queued.phase(), JobPhase::kQueued);
+  queued.Cancel();
+  const auto report = queued.Wait();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued.phase(), JobPhase::kCancelled);
+  // queue_seconds freezes at the terminal timestamp for a job that
+  // never ran; it must not keep growing with wall time.
+  const double q1 = queued.Progress().queue_seconds;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_DOUBLE_EQ(queued.Progress().queue_seconds, q1);
+  blocker.Cancel();
+  (void)blocker.Wait();
+}
+
+TEST(ExecutorTest, SubmitErrorsSurfaceThroughHandle) {
+  Session session = MakeSession(4);
+  // Unknown UDF: instantiation fails at admission, Wait reports it.
+  RunOptions window;
+  window.max_batches = 10;
+  JobHandle bad = session.Submit(session.Range(10).Map("nope", 2),
+                                 JobOptions{window, ""});
+  const auto report = bad.Wait();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(bad.phase(), JobPhase::kFailed);
+  // An unbound flow fails at Submit itself.
+  JobHandle unbound = Flow().Submit();
+  EXPECT_FALSE(unbound.status().ok());
+  EXPECT_FALSE(unbound.Wait().ok());
+  // A flow from a different session is rejected.
+  Session other = MakeSession(4);
+  JobHandle foreign = session.Submit(other.Range(5), JobOptions{window, ""});
+  EXPECT_FALSE(foreign.Wait().ok());
+}
+
+TEST(ExecutorTest, GovernorRetargetingPreservesDeterministicOutput) {
+  // Element-for-element identity while worker pools grow and shrink
+  // mid-run: resize history must never leak into results.
+  PipelineTestEnv env(4, 25, 48);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  // "slow" (200us modeled) keeps the drain in flight long enough to
+  // overlap dozens of retargets.
+  n = b.Map("m", n, "slow", 4, /*deterministic=*/true);
+  n = b.Batch("bt", n, 4, /*drop_remainder=*/false);
+  const GraphDef graph = std::move(b.Build(n)).value();
+
+  auto reference =
+      std::move(Pipeline::Create(graph, env.Options())).value();
+  const auto expected = Drain(*reference);
+  ASSERT_FALSE(expected.empty());
+
+  PipelineOptions options = env.Options();
+  options.governor = std::make_shared<ParallelismGovernor>();
+  auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    int target = 1;
+    while (!stop.load()) {
+      options.governor->SetTarget("m", target);
+      target = target % 6 + 1;  // sweep 1..6, above and below configured
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto resized = Drain(*pipeline);
+  stop.store(true);
+  flipper.join();
+  ASSERT_EQ(expected.size(), resized.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].components, resized[i].components) << "elem " << i;
+  }
+}
+
+TEST(MultiJobPlannerTest, EqualJobsSplitEvenly) {
+  std::vector<JobDemand> demands;
+  for (int i = 0; i < 2; ++i) {
+    JobDemand d;
+    d.job_id = "j" + std::to_string(i);
+    MaxMinStage stage;
+    stage.name = "m";
+    stage.rate_per_core = 1.0;
+    d.stages.push_back(stage);
+    d.max_parallelism["m"] = 8;
+    demands.push_back(std::move(d));
+  }
+  const MultiJobPlan plan = PlanMultiJobAllocation(demands, 8);
+  EXPECT_NEAR(plan.fair_rate, 4.0, 1e-9);
+  ASSERT_EQ(plan.jobs.size(), 2u);
+  for (const auto& [id, job_plan] : plan.jobs) {
+    EXPECT_EQ(job_plan.parallelism.at("m"), 4) << id;
+  }
+}
+
+TEST(MultiJobPlannerTest, CappedJobReleasesSurplus) {
+  JobDemand small;
+  small.job_id = "small";
+  small.stages.push_back({"m", 1.0, false});
+  small.max_parallelism["m"] = 2;  // configured knob caps its grant
+  JobDemand big;
+  big.job_id = "big";
+  big.stages.push_back({"m", 1.0, false});
+  big.max_parallelism["m"] = 16;
+  const MultiJobPlan plan = PlanMultiJobAllocation({small, big}, 8);
+  EXPECT_EQ(plan.jobs.at("small").parallelism.at("m"), 2);
+  EXPECT_EQ(plan.jobs.at("big").parallelism.at("m"), 6);
+}
+
+TEST(MultiJobPlannerTest, RateAwareSplitEqualizesJobRates) {
+  // Job "slow" needs 1 core per unit rate, "quick" 0.5: maximin gives
+  // both the same rate, so slow gets twice the cores.
+  JobDemand slow;
+  slow.job_id = "slow";
+  slow.stages.push_back({"m", 1.0, false});
+  JobDemand quick;
+  quick.job_id = "quick";
+  quick.stages.push_back({"m", 2.0, false});
+  const MultiJobPlan plan = PlanMultiJobAllocation({slow, quick}, 9);
+  EXPECT_NEAR(plan.fair_rate, 6.0, 1e-9);
+  EXPECT_NEAR(plan.jobs.at("slow").theta.at("m"), 6.0, 1e-9);
+  EXPECT_NEAR(plan.jobs.at("quick").theta.at("m"), 3.0, 1e-9);
+}
+
+TEST(MultiJobPlannerTest, NoJobStarvesUnderOversubscription) {
+  // 12 single-stage jobs on 4 cores: integer grants floor at one
+  // worker each — arbitration throttles, it never stops a job.
+  std::vector<JobDemand> demands;
+  for (int i = 0; i < 12; ++i) {
+    JobDemand d;
+    d.job_id = "j" + std::to_string(i);
+    d.stages.push_back({"m", 1.0, false});
+    d.max_parallelism["m"] = 4;
+    demands.push_back(std::move(d));
+  }
+  const MultiJobPlan plan = PlanMultiJobAllocation(demands, 4);
+  for (const auto& [id, job_plan] : plan.jobs) {
+    EXPECT_GE(job_plan.parallelism.at("m"), 1) << id;
+  }
+}
+
+TEST(MultiJobPlannerTest, SequentialStageCapsJobRate) {
+  JobDemand capped;
+  capped.job_id = "capped";
+  capped.stages.push_back({"m", 10.0, false});
+  capped.stages.push_back({"seq", 3.0, true});  // rate ceiling 3
+  JobDemand free_job;
+  free_job.job_id = "free";
+  free_job.stages.push_back({"m", 1.0, false});
+  const MultiJobPlan plan = PlanMultiJobAllocation({capped, free_job}, 8);
+  // capped runs at 3 (0.3 cores for its map); free takes the rest.
+  EXPECT_GT(plan.jobs.at("free").theta.at("m"),
+            plan.jobs.at("capped").theta.at("m"));
+  EXPECT_LE(plan.jobs.at("capped").predicted_rate, 3.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace plumber
