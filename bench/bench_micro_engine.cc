@@ -121,6 +121,34 @@ BENCHMARK(BM_EngineBatchCheapUdf)
     ->Args({8, 64})
     ->UseRealTime();
 
+// The zero-synchronization reference bound for the cheap-UDF case: the
+// same logical work (range source -> noop map) on ONE thread with NO
+// channels — parallelism 1 instantiates the sequential map, so every
+// element moves by plain function return. The ratio of
+// BM_EngineBatchCheapUdf/8/64 to this bound is the data plane's
+// remaining synchronization gap; check_bench_regression.py derives it
+// as micro_engine.sync_gap_rel and gates it per-PR (ratios are
+// portable across host shapes).
+void BM_EngineNoSyncBound(benchmark::State& state) {
+  EngineFixture fx;
+  const int batch = static_cast<int>(state.range(0));
+  GraphBuilder b;
+  auto n = b.Range("src", -1);
+  n = b.Map("m", n, "noop", /*parallelism=*/1);
+  auto pipeline = std::move(Pipeline::Create(std::move(b.Build(n)).value(),
+                                             fx.Options(true, batch)))
+                      .value();
+  auto iterator = std::move(pipeline->MakeIterator()).value();
+  Element e;
+  bool end;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iterator->GetNext(&e, &end));
+  }
+  state.SetItemsProcessed(state.iterations());
+  pipeline->Cancel();
+}
+BENCHMARK(BM_EngineNoSyncBound)->Arg(64)->UseRealTime();
+
 // Same sweep through a full read->map->batch chain (records off the
 // simulated filesystem, batch assembly via the batched claim path).
 void BM_EngineBatchReadChain(benchmark::State& state) {

@@ -98,6 +98,24 @@ def add_derived_ratios(metrics):
                 metrics[f"{family}/{arg}_vs_1_rel"] = rate / base
 
 
+def add_sync_gap(metrics):
+    """Adds micro_engine.sync_gap_rel: the batched parallel engine's
+    throughput as a fraction of the single-thread no-channel bound
+    (BM_EngineNoSyncBound). 1.0 would mean the data plane's
+    synchronization costs nothing; the gated ratio keeps the gap from
+    silently widening. Derived identically for baseline and current."""
+    engine = bound = None
+    for name, rate in metrics.items():
+        if name.endswith("_rel"):
+            continue  # derived ratios, not raw rates
+        if name.startswith("BM_EngineBatchCheapUdf/8/64"):
+            engine = rate
+        elif name.startswith("BM_EngineNoSyncBound/"):
+            bound = rate
+    if engine and bound and bound > 0:
+        metrics["micro_engine.sync_gap_rel"] = engine / bound
+
+
 def load_metrics(path):
     """Returns ({metric_name: value}, host_cores or None, host_speed or
     None) for one BENCH_*.json file. host_speed is the calibrated spin
@@ -123,6 +141,7 @@ def load_metrics(path):
             if rate:
                 metrics[bench["name"]] = float(rate)
         add_derived_ratios(metrics)
+        add_sync_gap(metrics)
     elif isinstance(data, dict):
         cores = data.get("host_cores")
         for name, value in data.get("metrics", {}).items():
@@ -265,6 +284,18 @@ def main():
                     f"({base[name]:.4g} -> {cur[name]:.4g})")
         for name in sorted(set(cur) - set(base)):
             rows.append((f"{bench}:{name}", None, cur[name], None, ""))
+            # A metric the current build emits but the baseline lacks
+            # means the baseline predates the benchmark — an ungated
+            # metric is a silent hole in the gate, so fail until it is
+            # blessed. Cross-host runs legitimately emit extra configs,
+            # so there it is only a warning.
+            msg = (f"{bench}:{name} emitted by the current run but "
+                   f"missing from the committed baseline — re-bless with "
+                   f"--update to start gating it")
+            if cross_host:
+                warnings.append(msg)
+            else:
+                failures.append(msg)
 
     if rows:
         name_w = max(len(r[0]) for r in rows)
@@ -284,8 +315,8 @@ def main():
     for w in warnings:
         print(f"WARN: {w}")
     if failures:
-        print(f"FAIL: {len(failures)} regression(s) beyond "
-              f"{args.threshold:.0%}:")
+        print(f"FAIL: {len(failures)} gate failure(s) "
+              f"(threshold {args.threshold:.0%}):")
         for f in failures:
             print(f"  - {f}")
         return 1

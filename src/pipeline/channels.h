@@ -1,0 +1,52 @@
+// Topology-aware channel selection for pipeline edges.
+//
+// Every inter-operator edge declares its structure at iterator
+// instantiation — how many threads push, how many pop, and whether the
+// ParallelismGovernor may retarget the producing pool above one worker
+// during the iterator's lifetime. The factory then picks the cheapest
+// channel that is safe for that structure:
+//
+//   * 1 producer : 1 consumer, not retargetable  ->  SpscRing (lock-free)
+//   * anything else                              ->  BoundedQueue (MPMC)
+//
+// Retargetable edges stay MPMC even when they currently run one worker:
+// the governor can raise the worker count mid-stream, and swapping the
+// channel under live producers cannot preserve element identity and
+// deterministic ordering across arbitrary resize histories. The
+// structural 1:1 cases (prefetch fill threads, fixed single-worker
+// pools) are proven at construction and never change.
+#pragma once
+
+#include <memory>
+
+#include "src/util/bounded_queue.h"
+#include "src/util/channel.h"
+#include "src/util/spsc_ring.h"
+
+namespace plumber {
+
+// Structure of one pipeline edge, known at iterator construction.
+struct EdgeTopology {
+  int producers = 1;
+  int consumers = 1;
+  // True when the ParallelismGovernor may raise the producer count
+  // above one during the edge's lifetime.
+  bool retargetable = false;
+
+  bool IsSpsc() const {
+    return producers == 1 && consumers == 1 && !retargetable;
+  }
+};
+
+// Picks the channel implementation for an edge. SpscRing rounds the
+// capacity up to a power of two; BoundedQueue uses it exactly.
+template <typename T>
+std::unique_ptr<Channel<T>> MakeEdgeChannel(const EdgeTopology& topology,
+                                            size_t capacity) {
+  if (topology.IsSpsc()) {
+    return std::make_unique<SpscRing<T>>(capacity);
+  }
+  return std::make_unique<BoundedQueue<T>>(capacity);
+}
+
+}  // namespace plumber

@@ -13,8 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/pipeline/channels.h"
 #include "src/pipeline/ops.h"
-#include "src/util/bounded_queue.h"
 #include "src/util/rng.h"
 
 namespace plumber {
@@ -257,7 +257,12 @@ class MapAndBatchIterator : public IteratorBase {
         batch_size_(batch_size < 1 ? 1 : batch_size),
         drop_remainder_(drop_remainder),
         seed_(seed),
-        queue_(static_cast<size_t>(std::max(parallelism, 1)) * 2) {
+        // Fixed worker pool (no governor registration, so never
+        // retargeted): parallelism 1 is a structural 1:1 edge and gets
+        // the lock-free SPSC ring; larger pools stay MPMC.
+        queue_(MakeEdgeChannel<Element>(
+            EdgeTopology{std::max(parallelism, 1), 1, false},
+            static_cast<size_t>(std::max(parallelism, 1)) * 2)) {
     const int workers = std::max(parallelism, 1);
     stats_->SetParallelism(workers);
     active_workers_.store(workers);
@@ -268,7 +273,7 @@ class MapAndBatchIterator : public IteratorBase {
   }
 
   ~MapAndBatchIterator() override {
-    queue_.Cancel();
+    queue_->Cancel();
     {
       std::lock_guard<std::mutex> lock(input_mu_);
       input_done_ = true;
@@ -278,7 +283,7 @@ class MapAndBatchIterator : public IteratorBase {
 
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
-    auto item = queue_.Pop();
+    auto item = queue_->Pop();
     if (!item.has_value()) {
       {
         std::lock_guard<std::mutex> lock(input_mu_);
@@ -333,18 +338,19 @@ class MapAndBatchIterator : public IteratorBase {
         Element batch;
         batch.sequence = raw.front().sequence;
         for (Element& in : raw) {
-          Element mapped = ExecuteMapUdf(
-              *udf_, in, ctx_->cpu_scale, SplitMix64(seed_ ^ in.sequence),
-              ctx_->work_model);
+          const uint64_t seed = SplitMix64(seed_ ^ in.sequence);
+          Element mapped = ExecuteMapUdf(*udf_, std::move(in),
+                                         ctx_->cpu_scale, seed,
+                                         ctx_->work_model);
           for (auto& c : mapped.components) {
             batch.components.push_back(std::move(c));
           }
         }
-        if (!queue_.Push(std::move(batch))) break;
+        if (!queue_->Push(std::move(batch))) break;
       }
       if (saw_end) break;
     }
-    if (active_workers_.fetch_sub(1) == 1) queue_.Cancel();
+    if (active_workers_.fetch_sub(1) == 1) queue_->Cancel();
   }
 
   std::unique_ptr<IteratorBase> input_;
@@ -352,7 +358,7 @@ class MapAndBatchIterator : public IteratorBase {
   const int64_t batch_size_;
   const bool drop_remainder_;
   const uint64_t seed_;
-  BoundedQueue<Element> queue_;
+  std::unique_ptr<Channel<Element>> queue_;
   std::mutex input_mu_;
   bool input_done_ = false;
   Status first_error_ = OkStatus();

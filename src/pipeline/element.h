@@ -35,7 +35,11 @@ struct Element {
     return e;
   }
 
-  // Deep copy (buffers duplicated); Elements are otherwise moved.
+  // Deep copy (buffers duplicated). Elements are otherwise moved
+  // end-to-end through the data plane; the only callers are the cache
+  // op's store/serve paths (src/pipeline/sink_ops.cc), which
+  // semantically need a retained copy. Don't add hot-path callers —
+  // recycle via BufferPool (src/util/buffer_pool.h) instead.
   Element Clone() const {
     Element e;
     e.components = components;

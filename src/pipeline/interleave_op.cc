@@ -12,8 +12,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/pipeline/channels.h"
 #include "src/pipeline/ops.h"
-#include "src/util/bounded_queue.h"
+#include "src/util/buffer_pool.h"
 
 namespace plumber {
 namespace {
@@ -79,13 +80,17 @@ class SequentialInterleaveIterator : public IteratorBase {
       }
       if (cursor_ >= cycle_.size()) cursor_ = 0;
       Slot& slot = cycle_[cursor_];
-      Buffer payload;
+      // Recycled record buffer: sized at the previous record so the
+      // reader's resize stays within capacity in steady state.
+      Buffer payload = BufferPool::Get()->Acquire(last_payload_bytes_);
       bool file_end = false;
       RETURN_IF_ERROR(slot.reader->ReadRecord(&payload, &file_end));
       if (file_end) {
+        BufferPool::Get()->Release(std::move(payload));
         cycle_.erase(cycle_.begin() + static_cast<long>(cursor_));
         continue;
       }
+      last_payload_bytes_ = payload.size();
       stats_->AddBytesRead(payload.size() + kRecordFramingBytes);
       *out = Element::FromBuffer(std::move(payload), sequence_++);
       *end = false;
@@ -110,6 +115,7 @@ class SequentialInterleaveIterator : public IteratorBase {
   size_t cursor_ = 0;
   bool files_done_ = false;
   uint64_t sequence_ = 0;
+  size_t last_payload_bytes_ = 64;
 };
 
 // With engine_batch_size > 1 each reader accumulates a vector of
@@ -123,10 +129,18 @@ class ParallelInterleaveIterator : public IteratorBase {
                              int parallelism)
       : IteratorBase(ctx, stats), input_(std::move(input)),
         parallelism_(parallelism),
-        queue_(static_cast<size_t>(parallelism) * 4),
+        // Fixed reader pool (never governor-retargeted); parallel mode
+        // implies >= 2 readers, so the factory keeps this edge MPMC.
+        // Capacity absorbs at least two engine batches so a requested
+        // batch size is never clamped by the channel.
+        queue_(MakeEdgeChannel<Item>(
+            EdgeTopology{parallelism, 1, false},
+            static_cast<size_t>(
+                std::max(parallelism * 4,
+                         2 * std::max(1, ctx->engine_batch_size))))),
         batch_size_(
-            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
-        consumer_(&queue_, batch_size_) {
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_->capacity())),
+        consumer_(queue_.get(), batch_size_) {
     stats_->SetParallelism(parallelism_);
     active_workers_.store(parallelism_);
     workers_.reserve(parallelism_);
@@ -136,7 +150,7 @@ class ParallelInterleaveIterator : public IteratorBase {
   }
 
   ~ParallelInterleaveIterator() override {
-    queue_.Cancel();
+    queue_->Cancel();
     {
       std::lock_guard<std::mutex> lock(input_mu_);
       files_done_ = true;
@@ -176,13 +190,14 @@ class ParallelInterleaveIterator : public IteratorBase {
   void WorkerLoop() {
     std::vector<Item> pending;
     pending.reserve(batch_size_);
+    size_t last_payload_bytes = 64;
     // Hands accumulated records to the queue; false when cancelled.
     auto flush = [&]() -> bool {
       if (pending.empty()) return true;
       std::vector<Item> batch;
       batch.swap(pending);
       pending.reserve(batch_size_);
-      return queue_.PushBatch(std::move(batch));
+      return queue_->PushBatch(std::move(batch));
     };
     for (;;) {
       if (ctx_->is_cancelled()) break;
@@ -210,7 +225,8 @@ class ParallelInterleaveIterator : public IteratorBase {
       auto reader = std::move(reader_or).value();
       bool stop = false;
       for (;;) {
-        Buffer payload;
+        // Per-worker recycled record buffer (see SequentialInterleave).
+        Buffer payload = BufferPool::Get()->Acquire(last_payload_bytes);
         bool file_end = false;
         Status read_status;
         {
@@ -224,7 +240,11 @@ class ParallelInterleaveIterator : public IteratorBase {
           stop = true;
           break;
         }
-        if (file_end) break;
+        if (file_end) {
+          BufferPool::Get()->Release(std::move(payload));
+          break;
+        }
+        last_payload_bytes = payload.size();
         stats_->AddBytesRead(payload.size() + kRecordFramingBytes);
         Element elem = Element::FromBuffer(
             std::move(payload),
@@ -241,7 +261,7 @@ class ParallelInterleaveIterator : public IteratorBase {
     }
     flush();
     if (active_workers_.fetch_sub(1) == 1) {
-      queue_.Push(Item{{}, OkStatus(), true});
+      queue_->Push(Item{{}, OkStatus(), true});
     }
   }
 
@@ -251,14 +271,14 @@ class ParallelInterleaveIterator : public IteratorBase {
   std::mutex input_mu_;
   bool files_done_ = false;
 
-  BoundedQueue<Item> queue_;
+  std::unique_ptr<Channel<Item>> queue_;
   const size_t batch_size_;
   std::atomic<int> active_workers_{0};
   std::atomic<uint64_t> sequence_{0};
   std::vector<std::thread> workers_;
 
   // Consumer-side batch buffer (accessed only from GetNext).
-  BatchedQueueConsumer<Item> consumer_;
+  BatchedChannelConsumer<Item> consumer_;
 };
 
 StatusOr<std::unique_ptr<IteratorBase>> InterleaveDataset::MakeIterator(

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <map>
 #include <optional>
 #include <thread>
 
+#include "src/pipeline/channels.h"
 #include "src/pipeline/ops.h"
-#include "src/util/bounded_queue.h"
+#include "src/util/reorder_ring.h"
 #include "src/util/rng.h"
 
 namespace plumber {
@@ -55,8 +55,9 @@ class SequentialMapIterator : public IteratorBase {
     RETURN_IF_ERROR(input_->GetNext(&in, end));
     if (*end) return OkStatus();
     stats_->RecordConsumed();
-    *out = ExecuteMapUdf(*udf_, in, ctx_->cpu_scale,
-                         SplitMix64(seed_ ^ in.sequence), ctx_->work_model);
+    const uint64_t seed = SplitMix64(seed_ ^ in.sequence);
+    *out = ExecuteMapUdf(*udf_, std::move(in), ctx_->cpu_scale, seed,
+                         ctx_->work_model);
     return OkStatus();
   }
 
@@ -95,16 +96,24 @@ class ParallelMapIterator : public IteratorBase {
         deterministic_(deterministic),
         seed_(seed),
         // Deep enough to ride out bursty consumers (a shuffle refill or
-        // batch assembly drains several items back-to-back): 2x the
-        // worker count stalls the pool whenever the consumer pauses for
-        // longer than one element's work. Sized once for the larger of
-        // the configured and initial worker counts; a later resize
-        // beyond that still works, just with more queue blocking.
-        queue_(static_cast<size_t>(
-            std::max(8, std::max(parallelism, initial_target) * 4))),
+        // batch assembly drains several items back-to-back) AND to
+        // absorb at least two engine batches, so a requested batch size
+        // is never clamped down by the channel and a worker can publish
+        // a full batch while the consumer still drains the previous
+        // one. Sized once for the larger of the configured and initial
+        // worker counts; a later resize beyond that still works, just
+        // with more queue blocking. Multi-producer (and governor-
+        // retargetable when one is attached), so the edge is MPMC.
+        queue_(MakeEdgeChannel<Item>(
+            EdgeTopology{std::max(parallelism, initial_target), 1,
+                         ctx->governor != nullptr},
+            static_cast<size_t>(std::max(
+                {8, std::max(parallelism, initial_target) * 4,
+                 2 * std::max(1, ctx->engine_batch_size)})))),
         batch_size_(
-            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
-        consumer_(&queue_, batch_size_) {
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_->capacity())),
+        consumer_(queue_.get(), batch_size_),
+        pending_(queue_->capacity() * 2) {
     stats_->SetParallelism(initial_target);
     {
       std::lock_guard<std::mutex> lock(park_mu_);
@@ -122,7 +131,7 @@ class ParallelMapIterator : public IteratorBase {
     // so the worker vector is stable for the joins below.
     if (ctx_->governor != nullptr) ctx_->governor->Unregister(governor_id_);
     SignalDone();
-    queue_.Cancel();
+    queue_->Cancel();
     {
       std::lock_guard<std::mutex> lock(input_mu_);
       input_done_ = true;
@@ -138,10 +147,7 @@ class ParallelMapIterator : public IteratorBase {
     }
     for (;;) {
       if (deterministic_) {
-        auto it = pending_.find(expected_);
-        if (it != pending_.end()) {
-          *out = std::move(it->second);
-          pending_.erase(it);
+        if (pending_.TakeIfPresent(expected_, out)) {
           ++expected_;
           *end = false;
           return OkStatus();
@@ -175,7 +181,7 @@ class ParallelMapIterator : public IteratorBase {
         *end = false;
         return OkStatus();
       }
-      pending_.emplace(item.order, std::move(item.element));
+      pending_.Insert(expected_, item.order, std::move(item.element));
     }
   }
 
@@ -266,23 +272,24 @@ class ParallelMapIterator : public IteratorBase {
           std::optional<CpuAccountingScope> scope;
           if (ctx_->tracing_enabled) scope.emplace(stats_);
           for (size_t i = 0; i < claimed.size(); ++i) {
-            Element result = ExecuteMapUdf(
-                *udf_, claimed[i], ctx_->cpu_scale,
-                SplitMix64(seed_ ^ claimed[i].sequence), ctx_->work_model);
+            const uint64_t seed = SplitMix64(seed_ ^ claimed[i].sequence);
+            Element result =
+                ExecuteMapUdf(*udf_, std::move(claimed[i]), ctx_->cpu_scale,
+                              seed, ctx_->work_model);
             results.push_back(
                 Item{order_base + i, std::move(result), OkStatus(), false});
           }
         }
-        if (!queue_.PushBatch(std::move(results))) break;  // cancelled
+        if (!queue_->PushBatch(std::move(results))) break;  // cancelled
       }
       if (!status.ok()) {
-        queue_.Push(Item{0, {}, status, false});
+        queue_->Push(Item{0, {}, status, false});
         break;
       }
       if (end) break;
     }
     if (active_workers_.fetch_sub(1) == 1) {
-      queue_.Push(Item{~0ULL, {}, OkStatus(), true});
+      queue_->Push(Item{~0ULL, {}, OkStatus(), true});
     }
   }
 
@@ -296,7 +303,7 @@ class ParallelMapIterator : public IteratorBase {
   bool input_done_ = false;
   uint64_t next_order_ = 0;
 
-  BoundedQueue<Item> queue_;
+  std::unique_ptr<Channel<Item>> queue_;
   const size_t batch_size_;
   std::atomic<int> active_workers_{0};
   // Live worker control: workers_ grows under park_mu_ (Resize), never
@@ -309,8 +316,10 @@ class ParallelMapIterator : public IteratorBase {
   std::vector<std::thread> workers_;
 
   // Consumer-side state (accessed only from GetNext).
-  BatchedQueueConsumer<Item> consumer_;
-  std::map<uint64_t, Element> pending_;
+  BatchedChannelConsumer<Item> consumer_;
+  // Deterministic reorder buffer: flat O(1) ring, not a std::map — the
+  // lookup runs once per emitted element.
+  ReorderRing<Element> pending_;
   uint64_t expected_ = 0;
   bool end_received_ = false;
   Status first_error_;

@@ -4,8 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/pipeline/channels.h"
 #include "src/pipeline/ops.h"
-#include "src/util/bounded_queue.h"
 
 namespace plumber {
 namespace {
@@ -101,7 +101,10 @@ class PrefetchIterator : public IteratorBase {
   PrefetchIterator(PipelineContext* ctx, IteratorStats* stats,
                    std::unique_ptr<IteratorBase> input, size_t buffer_size)
       : IteratorBase(ctx, stats), input_(std::move(input)),
-        queue_(buffer_size),
+        // One fill thread, one GetNext thread, never retargeted: the
+        // structurally 1:1 edge, so the factory picks the lock-free
+        // SPSC ring (capacity rounds up to a power of two).
+        queue_(MakeEdgeChannel<Item>(EdgeTopology{1, 1, false}, buffer_size)),
         // Clamped to the prefetch depth. Note batching widens the
         // look-ahead bound: besides the buffer_size elements in the
         // queue, up to one claimed batch sits in the fill thread and
@@ -109,14 +112,14 @@ class PrefetchIterator : public IteratorBase {
         // ~3x buffer_size elements materialized ahead, vs the classic
         // engine's buffer_size + 1.
         batch_size_(
-            ClampBatchToCapacity(ctx->engine_batch_size, queue_.capacity())),
-        consumer_(&queue_, batch_size_) {
+            ClampBatchToCapacity(ctx->engine_batch_size, queue_->capacity())),
+        consumer_(queue_.get(), batch_size_) {
     stats_->SetParallelism(static_cast<int>(buffer_size));
     thread_ = std::thread([this] { FillLoop(); });
   }
 
   ~PrefetchIterator() override {
-    queue_.Cancel();
+    queue_->Cancel();
     thread_.join();
   }
 
@@ -124,7 +127,7 @@ class PrefetchIterator : public IteratorBase {
   Status GetNextInternal(Element* out, bool* end) override {
     if (consumer_.NeedsRefill()) {
       const bool ok = consumer_.Refill();
-      stats_->RecordQueueEmptyFraction(queue_.EmptyPopFraction());
+      stats_->RecordQueueEmptyFraction(queue_->EmptyPopFraction());
       if (!ok) {  // cancelled before any sentinel
         *end = true;
         return OkStatus();
@@ -167,23 +170,23 @@ class PrefetchIterator : public IteratorBase {
       }
       if (!status.ok()) {
         items.push_back(Item{{}, status, false});
-        queue_.PushBatch(std::move(items));
+        queue_->PushBatch(std::move(items));
         return;
       }
       if (end) {
         items.push_back(Item{{}, OkStatus(), true});
-        queue_.PushBatch(std::move(items));
+        queue_->PushBatch(std::move(items));
         return;
       }
-      if (!queue_.PushBatch(std::move(items))) return;
+      if (!queue_->PushBatch(std::move(items))) return;
     }
   }
 
   std::unique_ptr<IteratorBase> input_;
-  BoundedQueue<Item> queue_;
+  std::unique_ptr<Channel<Item>> queue_;
   const size_t batch_size_;
   // Consumer-side batch buffer (accessed only from GetNext).
-  BatchedQueueConsumer<Item> consumer_;
+  BatchedChannelConsumer<Item> consumer_;
   std::thread thread_;
 };
 
@@ -249,6 +252,9 @@ class CacheIterator : public IteratorBase {
         *end = true;
         return OkStatus();
       }
+      // Clone is semantically required here (and at materialization
+      // below): the cache keeps its elements across epochs while the
+      // consumer takes ownership of what it is handed.
       *out = state_->elements[serve_index_++].Clone();
       *end = false;
       return OkStatus();

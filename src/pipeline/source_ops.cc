@@ -2,6 +2,7 @@
 #include <atomic>
 
 #include "src/pipeline/ops.h"
+#include "src/util/buffer_pool.h"
 #include "src/util/busy_work.h"
 #include "src/util/rng.h"
 
@@ -38,7 +39,9 @@ class RangeIterator : public IteratorBase {
       return OkStatus();
     }
     *end = false;
-    Buffer b(sizeof(int64_t));
+    // Range is the head of every synthetic hot path: recycle the
+    // 8-byte counter buffers instead of allocating one per element.
+    Buffer b = BufferPool::Get()->Acquire(sizeof(int64_t));
     const int64_t v = next_;
     for (size_t i = 0; i < sizeof(int64_t); ++i) {
       b[i] = static_cast<uint8_t>(v >> (8 * i));
@@ -166,13 +169,18 @@ class TfRecordIterator : public IteratorBase {
                                filename_elem.components[0].end());
         ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name));
       }
-      Buffer payload;
+      // Acquire at the previous record's size: records in a file are
+      // near-uniform, so ReadRecord's resize stays within capacity and
+      // the per-record allocation disappears in steady state.
+      Buffer payload = BufferPool::Get()->Acquire(last_payload_bytes_);
       bool file_end = false;
       RETURN_IF_ERROR(reader_->ReadRecord(&payload, &file_end));
       if (file_end) {
+        BufferPool::Get()->Release(std::move(payload));
         reader_.reset();
         continue;
       }
+      last_payload_bytes_ = payload.size();
       stats_->AddBytesRead(payload.size() + kRecordFramingBytes);
       *out = Element::FromBuffer(std::move(payload), sequence_++);
       *end = false;
@@ -184,6 +192,7 @@ class TfRecordIterator : public IteratorBase {
   std::unique_ptr<IteratorBase> input_;
   std::unique_ptr<RecordReader> reader_;
   uint64_t sequence_ = 0;
+  size_t last_payload_bytes_ = 64;
 };
 
 StatusOr<std::unique_ptr<IteratorBase>> TfRecordDataset::MakeIterator(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/util/buffer_pool.h"
 #include "src/util/busy_work.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -89,8 +90,14 @@ void ExecuteWithInternalParallelism(const UdfSpec& spec, double total_ns,
 
 }  // namespace
 
-Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
-                      double cpu_scale, uint64_t seed, CpuWorkModel model) {
+namespace {
+
+// Shared body of both overloads. `pooled_output` draws the output (and
+// any concat scratch) from the BufferPool; the transform itself is
+// byte-identical either way.
+Element ExecuteMapUdfImpl(const UdfSpec& spec, const Element& input,
+                          double cpu_scale, uint64_t seed, CpuWorkModel model,
+                          bool pooled_output) {
   const size_t input_bytes = input.TotalBytes();
   ExecuteWithInternalParallelism(
       spec, TotalCostNs(spec, input_bytes, cpu_scale), seed, model);
@@ -98,7 +105,10 @@ Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
       std::max(0.0, input_bytes * spec.size_ratio + spec.size_offset_bytes));
   Element out;
   out.sequence = input.sequence;
-  Buffer merged;
+  // TransformBuffer fully overwrites [0, output_bytes), so a recycled
+  // buffer's stale contents are unobservable.
+  Buffer merged =
+      pooled_output ? BufferPool::Get()->Acquire(output_bytes) : Buffer();
   if (input.components.size() == 1) {
     TransformBuffer(input.components[0], output_bytes, seed, &merged);
   } else {
@@ -110,8 +120,25 @@ Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
       concat.insert(concat.end(), c.begin(), c.end());
     }
     TransformBuffer(concat, output_bytes, seed, &merged);
+    if (pooled_output) BufferPool::Get()->Release(std::move(concat));
   }
   out.components.push_back(std::move(merged));
+  return out;
+}
+
+}  // namespace
+
+Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
+                      double cpu_scale, uint64_t seed, CpuWorkModel model) {
+  return ExecuteMapUdfImpl(spec, input, cpu_scale, seed, model,
+                           /*pooled_output=*/false);
+}
+
+Element ExecuteMapUdf(const UdfSpec& spec, Element&& input, double cpu_scale,
+                      uint64_t seed, CpuWorkModel model) {
+  Element out = ExecuteMapUdfImpl(spec, input, cpu_scale, seed, model,
+                                  /*pooled_output=*/true);
+  BufferPool::Get()->ReleaseElement(std::move(input));
   return out;
 }
 

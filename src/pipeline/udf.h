@@ -80,6 +80,15 @@ Element ExecuteMapUdf(const UdfSpec& spec, const Element& input,
                       double cpu_scale, uint64_t seed,
                       CpuWorkModel model = CpuWorkModel::kTimed);
 
+// Move-aware variant for hot paths that own their input: the output
+// buffer is drawn from the BufferPool arena and the consumed input's
+// component buffers are recycled into it, so the steady-state element
+// stream stops hitting the global allocator. Identical output bytes to
+// the const& overload.
+Element ExecuteMapUdf(const UdfSpec& spec, Element&& input, double cpu_scale,
+                      uint64_t seed,
+                      CpuWorkModel model = CpuWorkModel::kTimed);
+
 // Executes a filter-style UDF; returns the keep decision. Executes the
 // modeled predicate cost. Decisions are deterministic in (seed,
 // element.sequence) so reruns keep the same elements.

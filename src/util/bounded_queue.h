@@ -1,13 +1,19 @@
 // A bounded multi-producer multi-consumer blocking queue.
 //
-// Used by Prefetch and ParallelMap iterators. Supports cancellation so
-// iterator destruction can unblock worker threads, and tracks simple
-// occupancy statistics used by the prefetch planner (idleness signal).
+// The MPMC implementation of Channel<T> (src/util/channel.h): the safe
+// choice for edges with many workers per side, or edges the
+// ParallelismGovernor can retarget above one worker. Supports
+// cancellation so iterator destruction can unblock worker threads, and
+// tracks simple occupancy statistics used by the prefetch planner
+// (idleness signal).
 //
 // Besides the classic one-item Push/Pop, the queue moves whole element
 // batches per lock acquisition (PushBatch/PopBatch) — the engine's
 // batched execution mode, where per-element mutex traffic would
-// otherwise dominate cheap UDF work at high parallelism.
+// otherwise dominate cheap UDF work at high parallelism. Wakeups are
+// waiter-counted: each side tracks how many threads are parked, and a
+// push/pop notifies only as many as can actually make progress, so a
+// large batch doesn't stampede every sleeping worker at once.
 #pragma once
 
 #include <algorithm>
@@ -18,84 +24,91 @@
 #include <optional>
 #include <vector>
 
+#include "src/util/channel.h"
 #include "src/util/cpu_timer.h"
 
 namespace plumber {
 
 template <typename T>
-class BoundedQueue {
+class BoundedQueue final : public Channel<T> {
  public:
   explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
   // Blocks until space is available or the queue is cancelled.
   // Returns false if cancelled.
-  bool Push(T item) {
+  bool Push(T item) override {
     std::unique_lock<std::mutex> lock(mu_);
     if (!cancelled_ && items_.size() >= capacity_) {
       BlockedRegion blocked;  // producer stall: not CPU work
+      ++full_waiters_;
       not_full_.wait(lock,
                      [&] { return cancelled_ || items_.size() < capacity_; });
+      --full_waiters_;
     }
     if (cancelled_) return false;
     items_.push_back(std::move(item));
     ++total_pushed_;
     occupancy_sum_ += items_.size();
     ++occupancy_samples_;
-    not_empty_.notify_one();
+    WakeConsumers(1);
     return true;
   }
 
   // Non-blocking push; returns false if full or cancelled.
-  bool TryPush(T item) {
+  bool TryPush(T item) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (cancelled_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     ++total_pushed_;
     occupancy_sum_ += items_.size();
     ++occupancy_samples_;
-    not_empty_.notify_one();
+    WakeConsumers(1);
     return true;
   }
 
   // Blocks until an item is available or the queue is cancelled and
   // drained. Returns nullopt on cancellation with an empty queue.
-  std::optional<T> Pop() {
+  std::optional<T> Pop() override {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty()) {
       ++empty_pops_;
       if (!cancelled_) {
         BlockedRegion blocked;  // consumer stall: not CPU work
+        ++empty_waiters_;
         not_empty_.wait(lock, [&] { return cancelled_ || !items_.empty(); });
+        --empty_waiters_;
       }
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    WakeProducers(1);
     return item;
   }
 
-  std::optional<T> TryPop() {
+  std::optional<T> TryPop() override {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    WakeProducers(1);
     return item;
   }
 
   // Pushes every item in `items`, taking the lock once per capacity
   // window instead of once per element. Blocks while full. Returns
   // false if cancelled (remaining items are dropped, matching Push).
-  bool PushBatch(std::vector<T> items) {
+  bool PushBatch(std::vector<T> items) override {
     if (items.empty()) return !cancelled();
     std::unique_lock<std::mutex> lock(mu_);
     size_t offset = 0;
     while (offset < items.size()) {
       if (!cancelled_ && items_.size() >= capacity_) {
         BlockedRegion blocked;  // producer stall: not CPU work
+        ++full_waiters_;
         not_full_.wait(lock,
                        [&] { return cancelled_ || items_.size() < capacity_; });
+        --full_waiters_;
       }
       if (cancelled_) return false;
       const size_t n =
@@ -107,13 +120,7 @@ class BoundedQueue {
       total_pushed_ += n;
       occupancy_sum_ += items_.size();
       ++occupancy_samples_;
-      // n items can unblock up to n consumers; notify_one would strand
-      // all but one of them until the next push.
-      if (n > 1) {
-        not_empty_.notify_all();
-      } else {
-        not_empty_.notify_one();
-      }
+      WakeConsumers(n);
     }
     return true;
   }
@@ -122,13 +129,15 @@ class BoundedQueue {
   // Blocks until at least one item is available or the queue is
   // cancelled and drained; returns the number of items appended (0 only
   // on cancellation with an empty queue).
-  size_t PopBatch(size_t max_items, std::vector<T>* out) {
+  size_t PopBatch(size_t max_items, std::vector<T>* out) override {
     if (max_items == 0) return 0;
     std::unique_lock<std::mutex> lock(mu_);
     const bool was_empty = items_.empty();
     if (was_empty && !cancelled_) {
       BlockedRegion blocked;  // consumer stall: not CPU work
+      ++empty_waiters_;
       not_empty_.wait(lock, [&] { return cancelled_ || !items_.empty(); });
+      --empty_waiters_;
     }
     const size_t n = std::min(max_items, items_.size());
     // EmptyPopFraction's denominator counts elements, so a stalled
@@ -139,45 +148,40 @@ class BoundedQueue {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    // n freed slots can unblock up to n producers.
-    if (n > 1) {
-      not_full_.notify_all();
-    } else if (n == 1) {
-      not_full_.notify_one();
-    }
+    WakeProducers(n);
     return n;
   }
 
   // Unblocks all waiters; subsequent pushes fail, pops drain remaining
   // items then return nullopt.
-  void Cancel() {
+  void Cancel() override {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  bool cancelled() const {
+  bool cancelled() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return cancelled_;
   }
 
-  size_t size() const {
+  size_t size() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
   }
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const override { return capacity_; }
 
   // Fraction of Pop calls that found the queue empty (consumer stalls).
-  double EmptyPopFraction() const {
+  double EmptyPopFraction() const override {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t pops = total_pushed_ + empty_pops_;
     return pops == 0 ? 0.0 : static_cast<double>(empty_pops_) / pops;
   }
 
   // Mean queue occupancy observed at push time.
-  double MeanOccupancy() const {
+  double MeanOccupancy() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return occupancy_samples_ == 0
                ? 0.0
@@ -185,58 +189,41 @@ class BoundedQueue {
   }
 
  private:
+  // Wake consumers for `n` newly visible items. Called under mu_.
+  // `n` items can unblock at most n consumers, and there is no point
+  // notifying more threads than are actually parked — a blanket
+  // notify_all stampedes every sleeping worker through the mutex just
+  // to re-check a predicate most of them will fail.
+  void WakeConsumers(size_t n) {
+    const size_t wake = std::min(n, empty_waiters_);
+    for (size_t i = 0; i < wake; ++i) not_empty_.notify_one();
+  }
+
+  // Wake producers for `n` freed slots. Called under mu_.
+  void WakeProducers(size_t n) {
+    const size_t wake = std::min(n, full_waiters_);
+    for (size_t i = 0; i < wake; ++i) not_full_.notify_one();
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
   bool cancelled_ = false;
+  // Parked-thread counts per side; bound how many wakeups a batch emits.
+  size_t full_waiters_ = 0;
+  size_t empty_waiters_ = 0;
   uint64_t total_pushed_ = 0;
   uint64_t empty_pops_ = 0;
   uint64_t occupancy_sum_ = 0;
   uint64_t occupancy_samples_ = 0;
 };
 
-// Clamps an engine batch-size request to a queue's capacity (and to a
-// minimum of one element).
-inline size_t ClampBatchToCapacity(int requested, size_t capacity) {
-  return std::min(static_cast<size_t>(requested < 1 ? 1 : requested),
-                  capacity);
-}
-
-// Consumer-side batch drainer: pops whole batches off a BoundedQueue
-// and serves them one item at a time, keeping the queue lock off the
-// per-element path. Single-consumer (the GetNext thread).
+// Consumer-side batch drainer over any Channel; the historical name for
+// BatchedChannelConsumer (src/util/channel.h), kept for call sites that
+// predate the Channel split.
 template <typename T>
-class BatchedQueueConsumer {
- public:
-  BatchedQueueConsumer(BoundedQueue<T>* queue, size_t batch_size)
-      : queue_(queue), batch_size_(batch_size) {}
-
-  bool NeedsRefill() const { return pos_ >= local_.size(); }
-
-  // Blocks for the next batch; false when cancelled and drained.
-  bool Refill() {
-    local_.clear();
-    pos_ = 0;
-    return queue_->PopBatch(batch_size_, &local_) != 0;
-  }
-
-  // Precondition: !NeedsRefill().
-  void Take(T* out) { *out = std::move(local_[pos_++]); }
-
-  // Serves the next item; false when the queue is cancelled and empty.
-  bool Next(T* out) {
-    if (NeedsRefill() && !Refill()) return false;
-    Take(out);
-    return true;
-  }
-
- private:
-  BoundedQueue<T>* queue_;
-  const size_t batch_size_;
-  std::vector<T> local_;
-  size_t pos_ = 0;
-};
+using BatchedQueueConsumer = BatchedChannelConsumer<T>;
 
 }  // namespace plumber

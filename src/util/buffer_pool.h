@@ -1,0 +1,96 @@
+// A recycling arena for Element component buffers.
+//
+// Hot paths allocate one Buffer (std::vector<uint8_t>) per element per
+// op — source decode, UDF output — and free it one handoff later, so at
+// high parallelism the global allocator becomes a contended side
+// channel next to the lock-free data plane. The pool keeps retired
+// buffers' heap blocks alive and hands them back to the next acquire
+// of a compatible size instead:
+//
+//   * Power-of-two size classes (4 KiB .. 1 MiB by capacity). Releases
+//     bin by the buffer's actual capacity; an acquire of `n` bytes is
+//     served from the class whose buffers all have capacity >= n.
+//     Requests at or below 2 KiB bypass the pool entirely: the
+//     allocator's thread cache already wins for small blocks, and it
+//     is the large blocks that hit its contended central lists.
+//   * Thread-local magazines: each thread keeps a small per-class stack
+//     of buffers, so the steady-state acquire/release pair is a plain
+//     pointer move with no synchronization at all.
+//   * Sharded global depot: magazine overflow (and thread exit) spills
+//     to one of several mutex-guarded shards; a magazine miss refills
+//     from the thread's home shard. This is what lets producer threads
+//     retire buffers that consumer threads acquired (and vice versa)
+//     without a single contended free list.
+//   * Bounded: both layers cap their buffer counts; overflow falls
+//     through to the real allocator. Sizes outside the class range are
+//     never pooled.
+//
+// Acquired buffers have size() == requested bytes but arbitrary
+// contents — every producer in this codebase fully overwrites its
+// output buffer (TransformBuffer, FillDeterministicBytes, ReadRecord),
+// which is what makes recycling safe.
+//
+// The knob: set PLUMBER_BUFFER_POOL=0 to disable recycling (every
+// Acquire allocates, every Release frees); read once at first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plumber {
+
+using Buffer = std::vector<uint8_t>;
+
+class BufferPool {
+ public:
+  // Process-wide pool (leaked singleton: outlives every worker thread's
+  // magazine flush at exit).
+  static BufferPool* Get();
+
+  // False when PLUMBER_BUFFER_POOL=0; Acquire/Release still work but
+  // degrade to plain allocate/free.
+  static bool Enabled();
+
+  // Returns a buffer with size() == bytes and unspecified contents.
+  Buffer Acquire(size_t bytes);
+
+  // Retires a buffer's storage into the pool (or frees it when the
+  // pool is disabled, the buffer is out of class range, or all layers
+  // are full).
+  void Release(Buffer buffer);
+
+  // Retires every component buffer of consumed elements — the drain-
+  // side hook that closes the recycling loop.
+  template <typename ElementT>
+  void ReleaseElement(ElementT&& element) {
+    for (auto& component : element.components) {
+      Release(std::move(component));
+    }
+    element.components.clear();
+  }
+
+  struct Stats {
+    uint64_t acquires = 0;       // total Acquire calls
+    uint64_t acquire_hits = 0;   // served from magazine or depot
+    uint64_t releases = 0;       // total Release calls
+    uint64_t release_drops = 0;  // fell through to the allocator
+  };
+  Stats GetStats() const;
+
+  // Depot shard; defined in buffer_pool.cc.
+  struct Shard;
+
+ private:
+  BufferPool() = default;
+  friend struct ThreadMagazine;
+
+  Shard* HomeShard();
+
+  // Depot access for magazine miss/overflow; class_index is a valid
+  // size-class slot.
+  bool DepotAcquire(size_t class_index, Buffer* out);
+  bool DepotRelease(size_t class_index, Buffer buffer);
+};
+
+}  // namespace plumber

@@ -1,0 +1,122 @@
+// Channel<T>: the inter-operator handoff interface of the data plane.
+//
+// Every edge between a producing worker pool (or fill thread) and its
+// consumer moves elements through a Channel. Two implementations exist:
+//
+//   * BoundedQueue<T> (src/util/bounded_queue.h): mutex-guarded MPMC
+//     blocking queue — any number of producers and consumers, waiter-
+//     counted wakeups. The only safe choice when an edge has (or can be
+//     retargeted to) more than one thread per side.
+//   * SpscRing<T> (src/util/spsc_ring.h): lock-free single-producer /
+//     single-consumer ring — cache-line-padded indices, batch
+//     claim/publish, spin-then-park waiting. Chosen for edges the
+//     topology proves are 1:1 for their whole lifetime.
+//
+// Pipeline operators pick between them per edge at iterator
+// instantiation (see MakeEdgeChannel in src/pipeline/channels.h); the
+// conformance suite in tests/channel_test.cc runs against both.
+//
+// Blocking semantics shared by all implementations (the BoundedQueue
+// contract, unchanged): Push/PushBatch block while full and return
+// false once cancelled (remaining items dropped); Pop/PopBatch block
+// while empty, drain remaining items after cancellation, and report
+// exhaustion (nullopt / 0) only when cancelled AND empty.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace plumber {
+
+template <typename T>
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Blocks until space is available or the channel is cancelled.
+  // Returns false if cancelled.
+  virtual bool Push(T item) = 0;
+
+  // Non-blocking push; returns false if full or cancelled.
+  virtual bool TryPush(T item) = 0;
+
+  // Blocks until an item is available or the channel is cancelled and
+  // drained. Returns nullopt on cancellation with an empty channel.
+  virtual std::optional<T> Pop() = 0;
+
+  // Non-blocking pop; nullopt when empty.
+  virtual std::optional<T> TryPop() = 0;
+
+  // Pushes every item, moving whole capacity windows per synchronization
+  // point instead of one element at a time. Blocks while full. Returns
+  // false if cancelled (remaining items are dropped, matching Push).
+  virtual bool PushBatch(std::vector<T> items) = 0;
+
+  // Pops up to `max_items` per synchronization point, appending to
+  // *out. Blocks until at least one item is available or the channel is
+  // cancelled and drained; returns the number appended (0 only on
+  // cancellation with an empty channel).
+  virtual size_t PopBatch(size_t max_items, std::vector<T>* out) = 0;
+
+  // Unblocks all waiters; subsequent pushes fail, pops drain remaining
+  // items then report exhaustion.
+  virtual void Cancel() = 0;
+
+  virtual bool cancelled() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+
+  // Fraction of popped elements that found the channel empty first
+  // (consumer stalls) — the prefetch planner's idleness signal.
+  virtual double EmptyPopFraction() const = 0;
+
+  // Mean occupancy observed at push time.
+  virtual double MeanOccupancy() const = 0;
+};
+
+// Clamps an engine batch-size request to a channel's capacity (and to a
+// minimum of one element).
+inline size_t ClampBatchToCapacity(int requested, size_t capacity) {
+  return std::min(static_cast<size_t>(requested < 1 ? 1 : requested),
+                  capacity);
+}
+
+// Consumer-side batch drainer: pops whole batches off a Channel and
+// serves them one item at a time, keeping channel synchronization off
+// the per-element path. Single-consumer (the GetNext thread).
+template <typename T>
+class BatchedChannelConsumer {
+ public:
+  BatchedChannelConsumer(Channel<T>* channel, size_t batch_size)
+      : channel_(channel), batch_size_(batch_size) {}
+
+  bool NeedsRefill() const { return pos_ >= local_.size(); }
+
+  // Blocks for the next batch; false when cancelled and drained.
+  bool Refill() {
+    local_.clear();
+    pos_ = 0;
+    return channel_->PopBatch(batch_size_, &local_) != 0;
+  }
+
+  // Precondition: !NeedsRefill().
+  void Take(T* out) { *out = std::move(local_[pos_++]); }
+
+  // Serves the next item; false when the channel is cancelled and empty.
+  bool Next(T* out) {
+    if (NeedsRefill() && !Refill()) return false;
+    Take(out);
+    return true;
+  }
+
+ private:
+  Channel<T>* channel_;
+  const size_t batch_size_;
+  std::vector<T> local_;
+  size_t pos_ = 0;
+};
+
+}  // namespace plumber

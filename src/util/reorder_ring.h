@@ -1,0 +1,87 @@
+// A flat ring buffer for restoring deterministic order from dense,
+// monotonically increasing tickets.
+//
+// Parallel operators tag results with a pull-time ticket and the
+// consumer re-emits them in ticket order. The natural structure is a
+// ring indexed by `ticket & mask`: insert and extract are O(1) array
+// stores with no per-element allocation, unlike the std::map reorder
+// buffer it replaces (rebalancing red-black nodes on the hot path).
+//
+// Invariant: at any moment every buffered ticket lies in
+// [expected, expected + capacity), where `expected` is the next ticket
+// the consumer will emit. Insert grows the ring (rarely — only when a
+// resize raised the number of in-flight elements past the initial
+// sizing) to preserve the invariant, re-mapping buffered slots.
+//
+// Single-threaded: owned and touched only by the consuming thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace plumber {
+
+template <typename T>
+class ReorderRing {
+ public:
+  explicit ReorderRing(size_t capacity) {
+    size_t c = 2;
+    while (c < capacity) c <<= 1;
+    slots_.resize(c);
+    present_.assign(c, 0);
+  }
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Buffers the item with ticket `order`. `expected` is the next ticket
+  // the consumer will extract; `order` must be >= expected.
+  void Insert(uint64_t expected, uint64_t order, T item) {
+    if (order - expected >= slots_.size()) Grow(expected, order - expected + 1);
+    const size_t i = static_cast<size_t>(order & Mask());
+    slots_[i] = std::move(item);
+    present_[i] = 1;
+    ++count_;
+  }
+
+  // Extracts the item with ticket `expected` if buffered.
+  bool TakeIfPresent(uint64_t expected, T* out) {
+    const size_t i = static_cast<size_t>(expected & Mask());
+    if (!present_[i]) return false;
+    *out = std::move(slots_[i]);
+    present_[i] = 0;
+    --count_;
+    return true;
+  }
+
+ private:
+  uint64_t Mask() const { return slots_.size() - 1; }
+
+  void Grow(uint64_t expected, size_t need) {
+    size_t c = slots_.size();
+    while (c < need) c <<= 1;
+    std::vector<T> slots(c);
+    std::vector<uint8_t> present(c, 0);
+    // Every buffered ticket is in [expected, expected + old_capacity),
+    // so offset enumeration recovers each slot's ticket and re-maps it.
+    for (uint64_t off = 0; off < slots_.size(); ++off) {
+      const uint64_t order = expected + off;
+      const size_t from = static_cast<size_t>(order & Mask());
+      if (!present_[from]) continue;
+      const size_t to = static_cast<size_t>(order & (c - 1));
+      slots[to] = std::move(slots_[from]);
+      present[to] = 1;
+    }
+    slots_ = std::move(slots);
+    present_ = std::move(present);
+  }
+
+  std::vector<T> slots_;
+  std::vector<uint8_t> present_;  // not vector<bool>: plain byte flags
+  size_t count_ = 0;
+};
+
+}  // namespace plumber

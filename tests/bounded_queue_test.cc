@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/util/bounded_queue.h"
+#include "tests/test_util.h"
 
 namespace plumber {
 namespace {
@@ -105,106 +106,21 @@ TEST(BoundedQueueBatchTest, EmptyPopFractionCountsElementsNotBatches) {
 
 TEST(BoundedQueueBatchTest, MultiProducerMultiConsumerStress) {
   // 4 producers push batches of varying sizes, 4 consumers pop batches;
-  // every pushed value must arrive exactly once.
-  constexpr int kProducers = 4;
-  constexpr int kConsumers = 4;
-  constexpr int kPerProducer = 2000;
+  // every pushed value must arrive exactly once. (Shared helper, also
+  // run against SpscRing by tests/channel_test.cc.)
   BoundedQueue<int> q(32);
-  std::vector<std::thread> producers;
-  for (int p = 0; p < kProducers; ++p) {
-    producers.emplace_back([&q, p] {
-      std::vector<int> batch;
-      for (int i = 0; i < kPerProducer; ++i) {
-        batch.push_back(p * kPerProducer + i);
-        // Mix of batch sizes, including ones above capacity.
-        if (batch.size() == static_cast<size_t>(1 + (i % 53))) {
-          ASSERT_TRUE(q.PushBatch(std::move(batch)));
-          batch.clear();
-        }
-      }
-      ASSERT_TRUE(q.PushBatch(std::move(batch)));
-    });
-  }
-  std::mutex mu;
-  std::vector<int> seen;
-  std::atomic<int> remaining{kProducers * kPerProducer};
-  std::vector<std::thread> consumers;
-  for (int c = 0; c < kConsumers; ++c) {
-    consumers.emplace_back([&] {
-      std::vector<int> out;
-      while (remaining.load() > 0) {
-        out.clear();
-        const size_t n = q.PopBatch(16, &out);
-        if (n == 0) break;  // cancelled
-        remaining.fetch_sub(static_cast<int>(n));
-        std::lock_guard<std::mutex> lock(mu);
-        seen.insert(seen.end(), out.begin(), out.end());
-      }
-    });
-  }
-  for (auto& t : producers) t.join();
-  // Wake consumers that may be blocked on an empty, fully-drained queue.
-  while (remaining.load() > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  q.Cancel();
-  for (auto& t : consumers) t.join();
-  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
-  std::sort(seen.begin(), seen.end());
-  for (int i = 0; i < kProducers * kPerProducer; ++i) {
-    ASSERT_EQ(seen[i], i);
-  }
+  testing_util::ChannelStressExactlyOnce(q, /*producers=*/4,
+                                         /*consumers=*/4,
+                                         /*per_producer=*/2000);
 }
 
 TEST(BoundedQueueBatchTest, StressWithRacingCancellation) {
   // Producers and consumers racing a cancel must neither deadlock nor
   // duplicate items: items popped are a prefix-per-producer of what
   // was pushed.
-  for (int round = 0; round < 8; ++round) {
-    BoundedQueue<int> q(8);
-    std::atomic<bool> stop{false};
-    std::vector<std::thread> producers;
-    for (int p = 0; p < 3; ++p) {
-      producers.emplace_back([&q, &stop, p] {
-        int next = p * 1000000;
-        while (!stop.load()) {
-          std::vector<int> batch;
-          for (int i = 0; i < 5; ++i) batch.push_back(next++);
-          if (!q.PushBatch(std::move(batch))) return;
-        }
-      });
-    }
-    std::mutex mu;
-    std::vector<int> seen;
-    std::vector<std::thread> consumers;
-    for (int c = 0; c < 3; ++c) {
-      consumers.emplace_back([&] {
-        std::vector<int> out;
-        for (;;) {
-          out.clear();
-          if (q.PopBatch(7, &out) == 0) return;
-          std::lock_guard<std::mutex> lock(mu);
-          seen.insert(seen.end(), out.begin(), out.end());
-        }
-      });
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    stop = true;
-    q.Cancel();
-    for (auto& t : producers) t.join();
-    for (auto& t : consumers) t.join();
-    // No duplicates or losses mid-stream: each producer's popped values
-    // form a contiguous prefix of what it pushed (only the batch being
-    // pushed at cancellation time may be dropped).
-    std::vector<int> streams[3];
-    for (int v : seen) streams[v / 1000000].push_back(v);
-    for (int p = 0; p < 3; ++p) {
-      std::sort(streams[p].begin(), streams[p].end());
-      for (size_t i = 0; i < streams[p].size(); ++i) {
-        ASSERT_EQ(streams[p][i], p * 1000000 + static_cast<int>(i));
-      }
-    }
-  }
+  testing_util::ChannelStressRacingCancellation(
+      [] { return std::make_unique<BoundedQueue<int>>(8); },
+      /*producers=*/3, /*consumers=*/3, /*rounds=*/8);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 // reference where one exists).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/session.h"
@@ -16,20 +18,8 @@ namespace plumber {
 namespace {
 
 using testing_util::Drain;
+using testing_util::ExpectIdenticalOutput;
 using testing_util::PipelineTestEnv;
-
-// Byte-exact element-for-element comparison (not just a fingerprint).
-void ExpectIdenticalOutput(const std::vector<Element>& a,
-                           const std::vector<Element>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].components.size(), b[i].components.size()) << "elem " << i;
-    for (size_t c = 0; c < a[i].components.size(); ++c) {
-      ASSERT_EQ(a[i].components[c], b[i].components[c])
-          << "elem " << i << " component " << c;
-    }
-  }
-}
 
 std::vector<Element> RunChain(PipelineTestEnv& env, const GraphDef& graph,
                               int engine_batch_size) {
@@ -85,6 +75,77 @@ TEST(EngineBatchTest, BatchedPrefetchAndInterleaveIdentical) {
     EXPECT_EQ(testing_util::SizeFingerprint(reference),
               testing_util::SizeFingerprint(batched));
   }
+}
+
+TEST(EngineBatchTest, PrefetchSpscEdgeIdenticalAcrossBatchSizes) {
+  // Prefetch edges always ride the lock-free SPSC ring (the fill thread
+  // and the consumer are structurally 1:1). With a deterministic chain
+  // upstream, output must stay byte-identical to the batch_size=1
+  // reference across engine batch sizes — the ring's FIFO identity
+  // observed end to end, not just at the channel level.
+  PipelineTestEnv env(4, 25, 48);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("m", n, "double_size", 4, /*deterministic=*/true);
+  n = b.Prefetch("pf", n, 4);
+  n = b.Batch("bt", n, 4, /*drop_remainder=*/false);
+  const GraphDef graph = std::move(b.Build(n)).value();
+  const auto reference = RunChain(env, graph, 1);
+  ASSERT_FALSE(reference.empty());
+  for (int batch : {2, 8, 64}) {
+    ExpectIdenticalOutput(reference, RunChain(env, graph, batch));
+  }
+}
+
+TEST(EngineBatchTest, MapAndBatchSingleWorkerSpscIdentical) {
+  // parallelism=1 map_and_batch is a genuine one-producer pool, so its
+  // edge is an SpscRing; a single worker claims inputs in order, so the
+  // output is fully deterministic and must be byte-identical across
+  // engine batch sizes.
+  PipelineTestEnv env(2, 20, 32);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.MapAndBatch("fused", n, "double_size", 5, /*parallelism=*/1);
+  const GraphDef graph = std::move(b.Build(n)).value();
+  const auto reference = RunChain(env, graph, 1);
+  ASSERT_EQ(reference.size(), 8u);
+  for (int batch : {4, 32}) {
+    ExpectIdenticalOutput(reference, RunChain(env, graph, batch));
+  }
+}
+
+TEST(EngineBatchTest, GovernorRetargetUnderSpscEdgesIdentical) {
+  // A governor-retargetable map keeps its MPMC channel, but the
+  // prefetch downstream rides the SPSC ring. Element identity and
+  // deterministic ordering must hold under any resize history while
+  // both channel kinds are live in the same chain.
+  PipelineTestEnv env(4, 25, 48);
+  GraphBuilder b;
+  auto n = b.Interleave("il", b.FileList("files", "data/"), 2, 1);
+  n = b.Map("m", n, "slow", 4, /*deterministic=*/true);
+  n = b.Prefetch("pf", n, 8);
+  n = b.Batch("bt", n, 4, /*drop_remainder=*/false);
+  const GraphDef graph = std::move(b.Build(n)).value();
+  const auto reference = RunChain(env, graph, 8);
+  ASSERT_FALSE(reference.empty());
+
+  PipelineOptions options = env.Options();
+  options.engine_batch_size = 8;
+  options.governor = std::make_shared<ParallelismGovernor>();
+  auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    int target = 1;
+    while (!stop.load()) {
+      options.governor->SetTarget("m", target);
+      target = target % 6 + 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto retargeted = Drain(*pipeline);
+  stop = true;
+  flipper.join();
+  ExpectIdenticalOutput(reference, retargeted);
 }
 
 TEST(EngineBatchTest, BatchedFilterIdentical) {
