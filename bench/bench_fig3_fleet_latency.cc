@@ -36,5 +36,15 @@ int main() {
   headline.AddRow({"1ms", Table::Num(s.frac_above_1ms, 3), "0.62"});
   headline.AddRow({"100ms", Table::Num(s.frac_above_100ms, 3), "0.16"});
   headline.Print();
+
+  // Seeded simulation, so these are deterministic: the _rel suffix
+  // marks them portable for check_bench_regression.py and any drift
+  // from the blessed fractions is a modeling regression.
+  std::printf("BENCH_METRIC fleet.frac_above_50us_rel %.4f\n",
+              s.frac_above_50us);
+  std::printf("BENCH_METRIC fleet.frac_above_1ms_rel %.4f\n",
+              s.frac_above_1ms);
+  std::printf("BENCH_METRIC fleet.frac_above_100ms_rel %.4f\n",
+              s.frac_above_100ms);
   return 0;
 }

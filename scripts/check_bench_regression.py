@@ -11,7 +11,16 @@ Two JSON shapes are understood:
     entry with an items_per_second counter becomes a metric.
   * The plain-bench wrapper written by run_bench_json.sh: the "metrics"
     object (scraped from BENCH_METRIC stdout lines) is used verbatim.
-All metrics are higher-is-better throughputs.
+
+Metric direction is encoded in the name suffix:
+  * `*_latency_s` — lower is better; gated on *increases*, with a
+    looser band (2x the throughput threshold) because end-to-end
+    latency tails are noisier than throughput means.
+  * `*_count` — context only (e.g. fleet.steal_count): printed in the
+    delta table but never gated; the bench's own exit code asserts the
+    semantic property (count > 0).
+  * everything else — higher-is-better throughput or ratio, gated on
+    drops.
 
 Two portability mechanisms, by what differs between the hosts:
 
@@ -60,6 +69,9 @@ DEFAULT_BENCHES = [
     "bench_fig10_end_to_end",
     "bench_ablation_passes",
     "bench_multi_tenant",
+    "bench_fleet_replay",
+    "bench_fig3_fleet_latency",
+    "bench_fig4_fleet_utilization",
 ]
 
 # Wrapper-bench metric carrying the host's calibrated spin rate; it is
@@ -161,7 +173,8 @@ def add_speed_normalized(base, cur, base_speed, cur_speed):
     this when the two runs' core counts match."""
     normalized = set()
     for name in list(base):
-        if is_portable(name) or name not in cur:
+        if (is_portable(name) or metric_kind(name) != "throughput"
+                or name not in cur):
             continue
         base[f"{name}_norm_rel"] = base[name] / base_speed
         cur[f"{name}_norm_rel"] = cur[name] / cur_speed
@@ -173,6 +186,16 @@ def is_portable(name):
     """Relative (ratio) metrics compare across machine shapes; absolute
     throughputs only compare between same-core-count hosts."""
     return name.endswith("_rel")
+
+
+def metric_kind(name):
+    """Gating direction from the metric-name suffix: "latency" gates on
+    increases, "context" never gates, "throughput" gates on drops."""
+    if name.endswith("_count"):
+        return "context"
+    if name.endswith("_latency_s"):
+        return "latency"
+    return "throughput"
 
 
 def main():
@@ -272,15 +295,26 @@ def main():
             if base[name] <= 0:
                 continue
             delta = (cur[name] - base[name]) / base[name]
-            gated = name not in ungated
+            kind = metric_kind(name)
+            gated = name not in ungated and kind != "context"
+            # Latency gates on increases with a looser band (tails are
+            # noisier than throughput means); throughput gates on drops.
+            if kind == "latency":
+                regressed = delta > 2 * args.threshold
+                verb = "rose"
+            else:
+                regressed = delta < -args.threshold
+                verb = "dropped"
             flag = ""
-            if delta < -args.threshold:
+            if kind == "context":
+                flag = "  (context)"
+            elif regressed:
                 flag = "  <-- REGRESSION" if gated else "  (not gated)"
             rows.append((f"{bench}:{name}", base[name], cur[name], delta,
                          flag))
-            if gated and delta < -args.threshold:
+            if gated and regressed:
                 failures.append(
-                    f"{bench}:{name} dropped {-delta:.1%} "
+                    f"{bench}:{name} {verb} {abs(delta):.1%} "
                     f"({base[name]:.4g} -> {cur[name]:.4g})")
         for name in sorted(set(cur) - set(base)):
             rows.append((f"{bench}:{name}", None, cur[name], None, ""))

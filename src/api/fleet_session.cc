@@ -1,0 +1,40 @@
+#include "src/api/fleet_session.h"
+
+namespace plumber {
+
+FleetSession::FleetSession(FleetSessionOptions options)
+    : options_(std::move(options)),
+      env_([&] {
+        SessionOptions so;
+        so.seed = options_.seed;
+        so.work_model = options_.work_model;
+        so.engine_batch_size = options_.engine_batch_size;
+        return so;
+      }()) {
+  fleet::FleetOptions fopts = options_.fleet;
+  fopts.hosts = options_.hosts;
+  if (fopts.hosts.empty()) fopts.hosts.push_back(MachineSpec{});
+  options_.hosts = fopts.hosts;
+  runtime_ = std::make_unique<fleet::FleetRuntime>(
+      std::move(fopts), [this](int host) {
+        // Start from the environment Session's options (filesystem,
+        // UDFs, seed, work model), then overlay the host's own
+        // hardware: its core speed and memory budget. Per-host seeds
+        // decorrelate modeled randomness across hosts.
+        PipelineOptions popts = env_.MakePipelineOptions();
+        const MachineSpec& machine = options_.hosts[host];
+        popts.cpu_scale = machine.cpu_scale;
+        popts.memory_budget_bytes = machine.memory_bytes;
+        popts.seed = options_.seed + static_cast<uint64_t>(host);
+        return popts;
+      });
+}
+
+StatusOr<fleet::FleetReport> FleetSession::Replay(
+    const fleet::ArrivalTrace& trace,
+    const fleet::TraceReplayOptions& options) {
+  fleet::TraceReplayDriver driver(runtime_.get(), &env_.udfs());
+  return driver.Replay(trace, options);
+}
+
+}  // namespace plumber

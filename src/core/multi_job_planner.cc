@@ -160,6 +160,38 @@ MultiJobPlan PlanMultiJobAllocation(const std::vector<JobDemand>& demands,
 JobDemand DemandFromGraph(std::string job_id, const GraphDef& graph) {
   JobDemand demand;
   demand.job_id = std::move(job_id);
+  // Traced mode is all-or-nothing: mixing measured rates with the
+  // uniform-1.0 guess inside one job would let a fictitious unit-rate
+  // stage (cost 1/1.0) dwarf every real stage measured in the
+  // thousands per second, so a single stray attr must not distort the
+  // split. A graph the optimizer stamped (kAttrTracedRate anywhere)
+  // contributes only its stamped nodes as stages; anything unstamped
+  // was off the traced critical path and costs ~nothing.
+  bool traced = false;
+  for (const NodeDef& node : graph.nodes()) {
+    if (node.GetDouble(kAttrTracedRate, 0.0) > 0) {
+      traced = true;
+      break;
+    }
+  }
+  if (traced) {
+    for (const NodeDef& node : graph.nodes()) {
+      const double rate = node.GetDouble(kAttrTracedRate, 0.0);
+      if (rate <= 0) continue;
+      MaxMinStage stage;
+      stage.name = node.name;
+      stage.rate_per_core = rate;
+      const bool tunable = OpSupportsParallelism(node.op) &&
+                           node.GetBool(kAttrTunable, true);
+      stage.sequential = !tunable;
+      demand.stages.push_back(std::move(stage));
+      if (tunable) {
+        demand.max_parallelism[node.name] =
+            std::max(1, static_cast<int>(node.GetInt(kAttrParallelism, 1)));
+      }
+    }
+    return demand;
+  }
   for (const std::string& node : rewriter::TunableNodes(graph)) {
     MaxMinStage stage;
     stage.name = node;

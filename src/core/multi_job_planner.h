@@ -14,10 +14,11 @@
 // the same way the planner does (floor + largest remainder, min 1
 // worker per stage).
 //
-// Rates come from a traced PipelineModel when the caller has one;
-// DemandFromGraph builds the untraced fallback (uniform rate 1 per
-// tunable stage), under which the split degenerates to equal rates =
-// cores proportional to stage counts.
+// Rates come from the traced PipelineModel when the optimizer stamped
+// them into the graph (kAttrTracedRate); DemandFromGraph otherwise
+// builds the untraced fallback (uniform rate 1 per tunable stage),
+// under which the split degenerates to equal rates = cores
+// proportional to stage counts.
 #pragma once
 
 #include <map>
@@ -56,8 +57,14 @@ struct MultiJobPlan {
 MultiJobPlan PlanMultiJobAllocation(const std::vector<JobDemand>& demands,
                                     double num_cores);
 
-// Untraced demand: every tunable node of `graph` is one stage at
-// uniform rate 1, capped at its configured parallelism attr.
+// Demand from a graph. When the optimizer stamped traced per-core
+// rates into the graph (kAttrTracedRate, via rewriter::SetTracedRate),
+// each stamped node becomes a stage at its measured rate — tunable
+// nodes as parallel stages capped at their configured parallelism
+// attr, non-tunable stamped nodes as sequential rate caps — so
+// unequal-demand jobs get unequal water-fill shares. Untraced graphs
+// fall back to the uniform guess: every tunable node is one stage at
+// rate 1, capped at its configured parallelism attr.
 JobDemand DemandFromGraph(std::string job_id, const GraphDef& graph);
 
 }  // namespace plumber

@@ -76,6 +76,21 @@ StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
     // reports the input's observed rate, as the pre-framework
     // optimizer did with every pass disabled.
     RETURN_IF_ERROR(ctx.LatestModel().status());
+  } else {
+    // Record the measured per-core stage rates in the graph so the
+    // multi-job arbiter can water-fill from real demand instead of its
+    // uniform fallback when this program is later Submit()ed alongside
+    // others. Only after a real schedule: the empty ("none") schedule
+    // contracts to return the input byte-for-byte unchanged.
+    ASSIGN_OR_RETURN(const PipelineModel* model, ctx.LatestModel());
+    for (const MaxMinStage& stage : model->LpStages()) {
+      if (ctx.graph().FindNode(stage.name) != nullptr &&
+          stage.rate_per_core > 0) {
+        RETURN_IF_ERROR(
+            rewriter::SetTracedRate(&ctx.graph(), stage.name,
+                                    stage.rate_per_core));
+      }
+    }
   }
   result.graph = std::move(ctx.graph());
   result.traced_rate = ctx.last_traced_rate();

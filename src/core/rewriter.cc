@@ -93,6 +93,19 @@ int GetEngineBatchSize(const GraphDef& graph) {
   return GraphEngineBatchSize(graph);
 }
 
+Status SetTracedRate(GraphDef* graph, const std::string& node, double rate) {
+  if (rate <= 0) return InvalidArgumentError("traced rate must be positive");
+  NodeDef* def = graph->MutableNode(node);
+  if (def == nullptr) return NotFoundError("no such node: " + node);
+  def->attrs[kAttrTracedRate] = AttrValue(rate);
+  return OkStatus();
+}
+
+double GetTracedRate(const GraphDef& graph, const std::string& node) {
+  const NodeDef* def = graph.FindNode(node);
+  return def == nullptr ? 0.0 : def->GetDouble(kAttrTracedRate, 0.0);
+}
+
 bool HasOp(const GraphDef& graph, const std::string& op) {
   for (const auto& node : graph.nodes()) {
     if (node.op == op) return true;

@@ -44,6 +44,15 @@ Status SetEngineBatchSize(GraphDef* graph, int batch);
 // The graph-recorded engine batch size; 0 if none was recorded.
 int GetEngineBatchSize(const GraphDef& graph);
 
+// Records a traced per-core processing rate (minibatches/sec/core) on
+// a node, so measured demand travels with the program the way the
+// batch decision does. The optimizer stamps these after its final
+// trace; the multi-job arbiter's DemandFromGraph reads them back.
+Status SetTracedRate(GraphDef* graph, const std::string& node, double rate);
+
+// The node's recorded traced rate; 0 when none was recorded.
+double GetTracedRate(const GraphDef& graph, const std::string& node);
+
 // True if any node of the given op kind exists.
 bool HasOp(const GraphDef& graph, const std::string& op);
 

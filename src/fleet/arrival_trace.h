@@ -1,0 +1,102 @@
+// Arrival traces: the front-door workload format of the fleet serving
+// runtime (paper §3's fleet view, made executable).
+//
+// A trace is a job-class table plus a time-ordered list of arrival
+// events. Classes carry the modeled work shape (per-element UDF cost,
+// configured map parallelism, mean job size); events pick a class,
+// a concrete element count, and optionally a locality pin. The
+// TraceReplayDriver (src/fleet/trace_replay.h) turns each event into a
+// range -> map program and submits it to a FleetRuntime at (scaled)
+// arrival time.
+//
+// Text format (line-oriented, '#' comments, parse errors carry line
+// numbers):
+//   plumber_arrival_trace v1
+//   class <name> <weight> <cost_ns> <parallelism> <mean_elements>
+//   event <arrival_s> <class_index> <elements> <pinned_host>
+//
+// Two seeded generators cover the serving-paper workload shapes: a
+// homogeneous-rate Poisson process and a bursty on/off process (burst
+// arrivals at a fast rate, geometric burst lengths, long idle gaps).
+// Both draw job classes from the trace's weighted mixture and are
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace plumber {
+namespace fleet {
+
+// One class of jobs: the work shape every event of this class shares.
+struct TraceJobClass {
+  std::string name;
+  double weight = 1.0;        // mixture weight (unnormalized)
+  double cost_ns = 1e6;       // modeled UDF cost per element
+  int parallelism = 1;        // configured map parallelism
+  double mean_elements = 16;  // mean job size (elements)
+};
+
+// One job arrival.
+struct ArrivalEvent {
+  double arrival_s = 0;  // offset from trace start, nondecreasing
+  int job_class = 0;     // index into ArrivalTrace::classes
+  int64_t elements = 1;  // this job's concrete size
+  int pinned_host = -1;  // locality preference; -1 = unpinned
+};
+
+struct ArrivalTrace {
+  std::vector<TraceJobClass> classes;
+  std::vector<ArrivalEvent> events;
+
+  // Round-trippable text form (doubles at full precision).
+  std::string Serialize() const;
+  // Parses the text form. Malformed input fails with the 1-based line
+  // number and what was wrong with it.
+  static StatusOr<ArrivalTrace> Parse(const std::string& text);
+};
+
+// The four-class mixture calibrated against the paper's fleet
+// quantiles (src/fleet/fleet_sim.cc), recast as serveable job classes:
+// same weights, per-element costs spanning the well-configured ..
+// severely-input-bound latency decades.
+std::vector<TraceJobClass> CalibratedJobClasses();
+
+struct PoissonTraceOptions {
+  uint64_t seed = 1;
+  int num_jobs = 1000;
+  double mean_interarrival_s = 0.01;
+  // Fraction of jobs carrying a locality pin, spread uniformly over
+  // [0, num_hosts) pin targets.
+  double pin_fraction = 0;
+  int num_hosts = 1;
+};
+
+// Homogeneous Poisson arrivals over the weighted class mixture. Job
+// sizes are exponential around each class's mean (min 1 element).
+ArrivalTrace MakePoissonTrace(std::vector<TraceJobClass> classes,
+                              const PoissonTraceOptions& options);
+
+struct BurstyTraceOptions {
+  uint64_t seed = 1;
+  int num_jobs = 1000;
+  // Interarrival inside a burst (fast) and between bursts (slow).
+  double burst_interarrival_s = 0.001;
+  double idle_gap_s = 0.25;
+  // Mean jobs per burst (geometric).
+  double mean_burst_len = 20;
+  double pin_fraction = 0;
+  int num_hosts = 1;
+};
+
+// On/off arrivals: geometric-length bursts at the fast rate separated
+// by exponential idle gaps — the pattern that punishes load-oblivious
+// dispatch hardest.
+ArrivalTrace MakeBurstyTrace(std::vector<TraceJobClass> classes,
+                             const BurstyTraceOptions& options);
+
+}  // namespace fleet
+}  // namespace plumber

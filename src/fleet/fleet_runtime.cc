@@ -1,0 +1,268 @@
+#include "src/fleet/fleet_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace fleet {
+namespace internal {
+
+// The shared record behind one fleet job: written by the submitter
+// (identity), the pump (dispatch), and read by any number of handles.
+struct FleetJobRecord {
+  uint64_t id = 0;
+  GraphDef graph;
+  runtime::JobOptions options;
+  int pinned_host = -1;
+  int64_t submit_ns = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int host = -1;            // set at dispatch
+  bool stolen = false;
+  int64_t dispatch_ns = 0;
+  runtime::JobPtr job;      // non-null once dispatched
+  Status dispatch_status;   // non-OK if shutdown beat dispatch
+  bool terminal = false;    // dispatched or dispatch-failed
+};
+
+}  // namespace internal
+
+using internal::FleetJobRecord;
+
+const char* DispatchPolicyName(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin:
+      return "round_robin";
+    case DispatchPolicy::kLeastLoaded:
+      return "least_loaded";
+    case DispatchPolicy::kLocality:
+      return "locality";
+  }
+  return "unknown";
+}
+
+Status FleetJobHandle::Wait() const {
+  if (record_ == nullptr) {
+    return FailedPreconditionError("empty fleet job handle");
+  }
+  runtime::JobPtr job;
+  {
+    std::unique_lock<std::mutex> lock(record_->mu);
+    record_->cv.wait(lock, [&] { return record_->terminal; });
+    if (!record_->dispatch_status.ok()) return record_->dispatch_status;
+    job = record_->job;
+  }
+  job->Wait();
+  return job->result().status;
+}
+
+FleetJobStats FleetJobHandle::Stats() const {
+  FleetJobStats stats;
+  if (record_ == nullptr) return stats;
+  runtime::JobPtr job;
+  {
+    std::lock_guard<std::mutex> lock(record_->mu);
+    stats.host = record_->host;
+    stats.stolen = record_->stolen;
+    if (record_->dispatch_ns > 0) {
+      stats.fleet_queue_s =
+          (record_->dispatch_ns - record_->submit_ns) * 1e-9;
+    }
+    job = record_->job;
+  }
+  if (job != nullptr) {
+    const runtime::JobProgress progress = job->Progress();
+    stats.exec_queue_s = progress.queue_seconds;
+    stats.run_s = progress.run_seconds;
+    stats.elements = progress.elements;
+  }
+  stats.completion_s = stats.fleet_queue_s + stats.exec_queue_s + stats.run_s;
+  return stats;
+}
+
+FleetRuntime::FleetRuntime(
+    FleetOptions options,
+    std::function<PipelineOptions(int host)> pipeline_options)
+    : options_(std::move(options)),
+      pipeline_options_(std::move(pipeline_options)) {
+  if (options_.hosts.empty()) options_.hosts.push_back(MachineSpec{});
+  options_.host_concurrent_jobs = std::max(1, options_.host_concurrent_jobs);
+  options_.dispatch_depth = std::max(0, options_.dispatch_depth);
+  executors_.reserve(options_.hosts.size());
+  for (size_t h = 0; h < options_.hosts.size(); ++h) {
+    runtime::ExecutorOptions eopts;
+    eopts.max_concurrent_jobs = options_.host_concurrent_jobs;
+    const int host = static_cast<int>(h);
+    executors_.push_back(std::make_unique<runtime::Executor>(
+        [this, host] { return pipeline_options_(host); },
+        [this, host] { return options_.hosts[host]; }, eopts));
+  }
+  queues_.resize(options_.hosts.size());
+  pump_ = std::thread([this] { PumpLoop(); });
+}
+
+FleetRuntime::~FleetRuntime() {
+  std::vector<RecordPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (auto& queue : queues_) {
+      for (RecordPtr& record : queue) orphans.push_back(std::move(record));
+      queue.clear();
+    }
+    cv_.notify_all();
+  }
+  pump_.join();
+  for (const RecordPtr& record : orphans) {
+    std::lock_guard<std::mutex> rlock(record->mu);
+    record->dispatch_status = CancelledError("fleet runtime shut down");
+    record->terminal = true;
+    record->cv.notify_all();
+  }
+  // Executor destructors cancel and join every dispatched job.
+  executors_.clear();
+}
+
+FleetJobHandle FleetRuntime::Submit(GraphDef graph, FleetJobOptions options) {
+  auto record = std::make_shared<FleetJobRecord>();
+  record->graph = std::move(graph);
+  record->options = std::move(options.job);
+  record->pinned_host = options.pinned_host;
+  record->submit_ns = WallNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  record->id = next_id_++;
+  if (record->options.name.empty()) {
+    record->options.name = "fleet-job-" + std::to_string(record->id);
+  }
+  if (stop_) {
+    std::lock_guard<std::mutex> rlock(record->mu);
+    record->dispatch_status = CancelledError("fleet runtime shut down");
+    record->terminal = true;
+    record->cv.notify_all();
+    return FleetJobHandle(std::move(record));
+  }
+  const int host = RouteLocked(*record);
+  queues_[host].push_back(record);
+  cv_.notify_all();
+  return FleetJobHandle(std::move(record));
+}
+
+int FleetRuntime::RouteLocked(const FleetJobRecord& record) {
+  const int hosts = num_hosts();
+  switch (options_.policy) {
+    case DispatchPolicy::kRoundRobin: {
+      const int host = rr_next_;
+      rr_next_ = (rr_next_ + 1) % hosts;
+      return host;
+    }
+    case DispatchPolicy::kLeastLoaded:
+      return LeastLoadedLocked();
+    case DispatchPolicy::kLocality:
+      if (record.pinned_host >= 0) return record.pinned_host % hosts;
+      return LeastLoadedLocked();
+  }
+  return 0;
+}
+
+int FleetRuntime::LeastLoadedLocked() const {
+  int best = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int h = 0; h < num_hosts(); ++h) {
+    const runtime::ExecutorLoadSnapshot snap = executors_[h]->LoadSnapshot();
+    // Jobs in flight anywhere on the host (executor + fleet queue) per
+    // modeled core, so a big host absorbs proportionally more.
+    const double cores = std::max(1, options_.hosts[h].num_cores);
+    const double load =
+        (snap.queued_jobs + snap.running_jobs +
+         static_cast<double>(queues_[h].size())) /
+        cores;
+    if (load < best_load) {
+      best_load = load;
+      best = h;
+    }
+  }
+  return best;
+}
+
+void FleetRuntime::DispatchLocked(RecordPtr record, int host) {
+  runtime::JobPtr job =
+      executors_[host]->Submit(record->graph, record->options);
+  std::lock_guard<std::mutex> rlock(record->mu);
+  record->host = host;
+  record->dispatch_ns = WallNanos();
+  record->job = std::move(job);
+  record->terminal = true;
+  record->cv.notify_all();
+}
+
+FleetHostLoad FleetRuntime::HostLoad(int host) const {
+  FleetHostLoad load;
+  std::lock_guard<std::mutex> lock(mu_);
+  load.executor = executors_[host]->LoadSnapshot();
+  load.fleet_queued = static_cast<int>(queues_[host].size());
+  return load;
+}
+
+void FleetRuntime::PumpLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Each host's executor is kept topped up to cap jobs (running +
+  // queued inside the executor); the surplus stays in the fleet queue
+  // where the stealing pass below can still re-route it.
+  const int cap = options_.host_concurrent_jobs + options_.dispatch_depth;
+  for (;;) {
+    if (stop_) return;
+    bool any_queued = false;
+    for (int h = 0; h < num_hosts(); ++h) {
+      runtime::ExecutorLoadSnapshot snap = executors_[h]->LoadSnapshot();
+      while (snap.queued_jobs + snap.running_jobs < cap &&
+             !queues_[h].empty()) {
+        RecordPtr record = std::move(queues_[h].front());
+        queues_[h].pop_front();
+        DispatchLocked(std::move(record), h);
+        ++snap.queued_jobs;
+      }
+      any_queued = any_queued || !queues_[h].empty();
+    }
+    if (options_.work_stealing && any_queued) {
+      for (int h = 0; h < num_hosts(); ++h) {
+        if (!queues_[h].empty()) continue;  // has local work
+        runtime::ExecutorLoadSnapshot snap = executors_[h]->LoadSnapshot();
+        while (snap.queued_jobs + snap.running_jobs < cap) {
+          // Steal from the deepest backlog; take the newest arrival so
+          // the victim's oldest jobs keep their locality.
+          int victim = -1;
+          size_t victim_depth = 0;
+          for (int v = 0; v < num_hosts(); ++v) {
+            if (v == h || queues_[v].empty()) continue;
+            if (queues_[v].size() > victim_depth) {
+              victim_depth = queues_[v].size();
+              victim = v;
+            }
+          }
+          if (victim < 0) break;
+          RecordPtr record = std::move(queues_[victim].back());
+          queues_[victim].pop_back();
+          {
+            std::lock_guard<std::mutex> rlock(record->mu);
+            record->stolen = true;
+          }
+          steal_count_.fetch_add(1, std::memory_order_relaxed);
+          DispatchLocked(std::move(record), h);
+          ++snap.queued_jobs;
+        }
+      }
+    }
+    // Executor completions have no wakeup channel into the pump, so
+    // poll on a short tick while work is waiting; otherwise sleep
+    // until a Submit (or shutdown) notifies.
+    cv_.wait_for(lock, any_queued ? std::chrono::milliseconds(1)
+                                  : std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace fleet
+}  // namespace plumber

@@ -1,0 +1,168 @@
+#include "src/fleet/trace_replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "src/pipeline/ops.h"
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+namespace fleet {
+namespace {
+
+std::string ClassUdfName(const TraceJobClass& job_class) {
+  return "fleet_class_" + job_class.name;
+}
+
+// The per-event program: a finite range through one modeled map stage
+// shaped like the event's class.
+GraphDef MakeJobGraph(const ArrivalTrace& trace, const ArrivalEvent& event) {
+  const TraceJobClass& job_class = trace.classes[event.job_class];
+  GraphDef graph;
+  NodeDef src;
+  src.name = "src";
+  src.op = "range";
+  src.attrs[kAttrCount] = AttrValue(event.elements);
+  (void)graph.AddNode(std::move(src));
+  NodeDef work;
+  work.name = "work";
+  work.op = "map";
+  work.inputs = {"src"};
+  work.attrs[kAttrUdf] = AttrValue(ClassUdfName(job_class));
+  work.attrs[kAttrParallelism] = AttrValue(job_class.parallelism);
+  (void)graph.AddNode(std::move(work));
+  graph.SetOutput("work");
+  return graph;
+}
+
+}  // namespace
+
+double LatencyPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+StatusOr<FleetReport> TraceReplayDriver::Replay(
+    const ArrivalTrace& trace, const TraceReplayOptions& options) {
+  if (trace.classes.empty()) {
+    return InvalidArgumentError("trace has no job classes");
+  }
+  if (options.time_scale <= 0) {
+    return InvalidArgumentError("time_scale must be positive");
+  }
+  for (const TraceJobClass& job_class : trace.classes) {
+    if (udfs_->Find(ClassUdfName(job_class)) != nullptr) continue;
+    UdfSpec spec;
+    spec.name = ClassUdfName(job_class);
+    spec.cost_ns_per_element = job_class.cost_ns;
+    RETURN_IF_ERROR(udfs_->Register(std::move(spec)));
+  }
+
+  const int64_t t0 = WallNanos();
+  std::vector<FleetJobHandle> handles;
+  handles.reserve(trace.events.size());
+  for (const ArrivalEvent& event : trace.events) {
+    if (options.respect_arrivals) {
+      const double due_s = event.arrival_s / options.time_scale;
+      const double now_s = (WallNanos() - t0) * 1e-9;
+      if (due_s > now_s) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due_s - now_s));
+      }
+    }
+    FleetJobOptions jopts;
+    jopts.pinned_host = event.pinned_host;
+    handles.push_back(fleet_->Submit(MakeJobGraph(trace, event), jopts));
+  }
+
+  FleetReport report;
+  report.num_hosts = fleet_->num_hosts();
+  report.num_jobs = static_cast<int64_t>(handles.size());
+  std::vector<double> queue_s, completion_s;
+  std::vector<double> busy_core_s(report.num_hosts, 0);
+  queue_s.reserve(handles.size());
+  completion_s.reserve(handles.size());
+  double completion_sum = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const Status status = handles[i].Wait();
+    if (!status.ok()) {
+      ++report.failed_jobs;
+      continue;
+    }
+    const FleetJobStats stats = handles[i].Stats();
+    queue_s.push_back(stats.fleet_queue_s + stats.exec_queue_s);
+    completion_s.push_back(stats.completion_s);
+    completion_sum += stats.completion_s;
+    if (stats.host >= 0 && stats.host < report.num_hosts) {
+      const TraceJobClass& job_class =
+          trace.classes[trace.events[i].job_class];
+      busy_core_s[stats.host] +=
+          static_cast<double>(trace.events[i].elements) *
+          job_class.cost_ns * 1e-9 *
+          fleet_->host_machine(stats.host).cpu_scale;
+    }
+  }
+  report.makespan_s = (WallNanos() - t0) * 1e-9;
+  report.steal_count = fleet_->steal_count();
+  report.p50_queue_s = LatencyPercentile(queue_s, 0.50);
+  report.p95_queue_s = LatencyPercentile(queue_s, 0.95);
+  report.p99_queue_s = LatencyPercentile(queue_s, 0.99);
+  report.p50_completion_s = LatencyPercentile(completion_s, 0.50);
+  report.p95_completion_s = LatencyPercentile(completion_s, 0.95);
+  report.p99_completion_s = LatencyPercentile(completion_s, 0.99);
+  if (!completion_s.empty()) {
+    report.mean_completion_s =
+        completion_sum / static_cast<double>(completion_s.size());
+  }
+  double total_cores = 0, weighted = 0;
+  for (int h = 0; h < report.num_hosts; ++h) {
+    const double cores =
+        std::max(1, fleet_->host_machine(h).num_cores);
+    const double util =
+        report.makespan_s > 0
+            ? std::min(1.0, busy_core_s[h] / (report.makespan_s * cores))
+            : 0;
+    report.host_utilization.push_back(util);
+    total_cores += cores;
+    weighted += util * cores;
+  }
+  if (total_cores > 0) report.mean_utilization = weighted / total_cores;
+  return report;
+}
+
+std::string FleetReport::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "fleet replay: %lld jobs on %d hosts, makespan %.2fs, "
+                "%lld failed, %lld stolen\n",
+                static_cast<long long>(num_jobs), num_hosts, makespan_s,
+                static_cast<long long>(failed_jobs),
+                static_cast<long long>(steal_count));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  queue      p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
+                p50_queue_s, p95_queue_s, p99_queue_s);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  completion p50 %.3fs  p95 %.3fs  p99 %.3fs  mean %.3fs\n",
+                p50_completion_s, p95_completion_s, p99_completion_s,
+                mean_completion_s);
+  out += buf;
+  out += "  utilization";
+  for (size_t h = 0; h < host_utilization.size(); ++h) {
+    std::snprintf(buf, sizeof(buf), " host%zu=%.2f", h, host_utilization[h]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " mean=%.2f\n", mean_utilization);
+  out += buf;
+  return out;
+}
+
+}  // namespace fleet
+}  // namespace plumber

@@ -1,0 +1,78 @@
+// Trace replay: the fleet runtime's front door.
+//
+// TraceReplayDriver turns an ArrivalTrace into live load: for each
+// event it builds a range -> map program from the event's job class
+// (registering one modeled UDF per class), submits it to the
+// FleetRuntime at the event's (time-scaled) arrival offset, then waits
+// out every job and folds the per-job FleetJobStats into a
+// FleetReport — fleet-wide latency quantiles, per-host modeled
+// utilization, and the steal counter.
+//
+// Utilization is modeled, not measured: a host's busy core-seconds are
+// the sum over its jobs of elements x class cost x the host's
+// cpu_scale, divided by (makespan x modeled cores). Under the kTimed
+// work model that equals what a real host would have burned, while
+// staying exact on any build machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/fleet/arrival_trace.h"
+#include "src/fleet/fleet_runtime.h"
+#include "src/pipeline/udf.h"
+
+namespace plumber {
+namespace fleet {
+
+struct TraceReplayOptions {
+  // Divides every arrival offset: 2 replays the trace twice as fast.
+  double time_scale = 1.0;
+  // false = ignore arrival times and submit everything immediately
+  // (a pure backlog drain; useful in tests).
+  bool respect_arrivals = true;
+};
+
+struct FleetReport {
+  int num_hosts = 0;
+  int64_t num_jobs = 0;
+  int64_t failed_jobs = 0;
+  int64_t steal_count = 0;
+  double makespan_s = 0;  // first submit -> last completion
+  // Queue latency = fleet queue + executor queue (submit -> running).
+  double p50_queue_s = 0, p95_queue_s = 0, p99_queue_s = 0;
+  // Completion latency = queue + run (submit -> finished).
+  double p50_completion_s = 0, p95_completion_s = 0, p99_completion_s = 0;
+  double mean_completion_s = 0;
+  // Modeled busy-core fraction per host over the makespan, and the
+  // core-weighted fleet mean.
+  std::vector<double> host_utilization;
+  double mean_utilization = 0;
+
+  std::string ToString() const;
+};
+
+class TraceReplayDriver {
+ public:
+  // Both pointers must outlive the driver; `udfs` must be the registry
+  // the runtime's pipeline_options hands to every host.
+  TraceReplayDriver(FleetRuntime* fleet, UdfRegistry* udfs)
+      : fleet_(fleet), udfs_(udfs) {}
+
+  // Registers the trace's class UDFs (idempotent across calls),
+  // submits every event, waits for all jobs, reports. The registry
+  // must not be mutated elsewhere while jobs are live.
+  StatusOr<FleetReport> Replay(const ArrivalTrace& trace,
+                               const TraceReplayOptions& options = {});
+
+ private:
+  FleetRuntime* fleet_;
+  UdfRegistry* udfs_;
+};
+
+// Sorted-percentile helper shared by the report and the benches
+// (nearest-rank on p in [0, 1]).
+double LatencyPercentile(std::vector<double> values, double p);
+
+}  // namespace fleet
+}  // namespace plumber

@@ -104,6 +104,12 @@ inline constexpr char kAttrTunable[] = "tunable";
 // applies at instantiation when PipelineOptions leaves the knob unset
 // (an explicit options value wins).
 inline constexpr char kAttrEngineBatchSize[] = "engine_batch_size";
+// Traced per-core processing rate (minibatches/sec/core) recorded by
+// the optimizer after a successful trace (rewriter::SetTracedRate).
+// Consumed by the multi-job arbiter: DemandFromGraph prefers these
+// measured rates over its uniform-rate fallback, so unequal-demand
+// jobs get unequal water-fill shares (see src/core/multi_job_planner).
+inline constexpr char kAttrTracedRate[] = "traced_rate";
 
 // True if the op kind supports a tunable `parallelism` attribute.
 bool OpSupportsParallelism(const std::string& op);

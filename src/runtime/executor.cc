@@ -5,6 +5,7 @@
 
 #include "src/core/multi_job_planner.h"
 #include "src/core/rewriter.h"
+#include "src/pipeline/ops.h"
 #include "src/util/cpu_timer.h"
 
 namespace plumber {
@@ -66,6 +67,26 @@ int Executor::live_jobs() const {
 int Executor::queued_jobs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(pending_.size());
+}
+
+ExecutorLoadSnapshot Executor::LoadSnapshot() const {
+  ExecutorLoadSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.queued_jobs = static_cast<int>(pending_.size());
+  snapshot.running_jobs = static_cast<int>(live_.size());
+  for (const auto& [id, job] : live_) {
+    (void)id;
+    // planned_graph_ is the submitted graph until arbitration rewrites
+    // it, so the sum covers both arbitrated grants and configured
+    // knobs. Same lock order as AdmitLocked (executor mu_ -> job mu_).
+    std::lock_guard<std::mutex> jlock(job->mu_);
+    for (const std::string& node : rewriter::TunableNodes(job->planned_graph_)) {
+      const NodeDef* def = job->planned_graph_.FindNode(node);
+      snapshot.granted_cores +=
+          static_cast<double>(def->GetInt(kAttrParallelism, 1));
+    }
+  }
+  return snapshot;
 }
 
 void Executor::FinishWithoutRunning(Job* job, JobPhase phase, Status status) {

@@ -41,6 +41,18 @@ struct ExecutorOptions {
   int max_concurrent_jobs = 0;
 };
 
+// Point-in-time load view of one Executor: the dispatch signal a
+// fleet-level balancer (src/fleet/fleet_runtime.h) compares across
+// hosts, and a cheap observability hook on its own.
+struct ExecutorLoadSnapshot {
+  int queued_jobs = 0;   // submitted, not yet admitted
+  int running_jobs = 0;  // admitted, driver live
+  // Sum of the live jobs' current integer parallelism grants (the
+  // arbitrated plan when re-planned, the configured knobs otherwise):
+  // how many modeled cores the running set is entitled to occupy.
+  double granted_cores = 0;
+};
+
 class Executor {
  public:
   // `pipeline_options` derives instantiation options per admission and
@@ -62,6 +74,8 @@ class Executor {
 
   int live_jobs() const;
   int queued_jobs() const;
+  // Queue depth, running set, and granted cores in one consistent view.
+  ExecutorLoadSnapshot LoadSnapshot() const;
 
  private:
   void SchedulerLoop();

@@ -11,6 +11,7 @@
 
 #include "src/core/multi_job_planner.h"
 #include "src/core/plumber.h"
+#include "src/pipeline/ops.h"
 #include "tests/test_util.h"
 
 namespace plumber {
@@ -370,6 +371,171 @@ TEST(MultiJobPlannerTest, NoJobStarvesUnderOversubscription) {
   for (const auto& [id, job_plan] : plan.jobs) {
     EXPECT_GE(job_plan.parallelism.at("m"), 1) << id;
   }
+}
+
+TEST(ExecutorTest, LoadSnapshotTracksQueueRunningAndGrants) {
+  // The fleet dispatcher's signal: queue depth, running set, and the
+  // live jobs' granted cores in one consistent view.
+  PipelineTestEnv env;
+  MachineSpec machine;
+  machine.num_cores = 8;
+  runtime::ExecutorOptions eopts;
+  eopts.max_concurrent_jobs = 1;  // force the second submit to queue
+  runtime::Executor executor([&] { return env.Options(); },
+                             [&] { return machine; }, eopts);
+
+  const runtime::ExecutorLoadSnapshot idle = executor.LoadSnapshot();
+  EXPECT_EQ(idle.queued_jobs, 0);
+  EXPECT_EQ(idle.running_jobs, 0);
+  EXPECT_EQ(idle.granted_cores, 0);
+
+  GraphDef graph;
+  NodeDef src;
+  src.name = "src";
+  src.op = "range";
+  src.attrs[kAttrCount] = AttrValue(int64_t{-1});  // run until cancelled
+  ASSERT_TRUE(graph.AddNode(std::move(src)).ok());
+  NodeDef work;
+  work.name = "work";
+  work.op = "map";
+  work.inputs = {"src"};
+  work.attrs[kAttrUdf] = AttrValue("slow");
+  work.attrs[kAttrParallelism] = AttrValue(3);
+  ASSERT_TRUE(graph.AddNode(std::move(work)).ok());
+  graph.SetOutput("work");
+
+  runtime::JobOptions jopts;
+  jopts.run.max_seconds = 30;
+  runtime::JobPtr first = executor.Submit(graph, jopts);
+  runtime::JobPtr second = executor.Submit(graph, jopts);
+  ASSERT_TRUE(PollUntil([&] {
+    const runtime::ExecutorLoadSnapshot s = executor.LoadSnapshot();
+    return s.running_jobs == 1 && s.queued_jobs == 1;
+  }));
+  // One live job, never arbitrated (it runs alone): granted cores are
+  // its configured knob.
+  const runtime::ExecutorLoadSnapshot busy = executor.LoadSnapshot();
+  EXPECT_EQ(busy.granted_cores, 3.0);
+
+  first->Cancel();
+  second->Cancel();
+  first->Wait();
+  second->Wait();
+  ASSERT_TRUE(PollUntil([&] {
+    const runtime::ExecutorLoadSnapshot s = executor.LoadSnapshot();
+    return s.queued_jobs == 0 && s.running_jobs == 0;
+  }));
+}
+
+TEST(MultiJobPlannerTest, TracedRatesYieldUnequalShares) {
+  // Two jobs with identical topology but 4x different measured stage
+  // rates: the heavy job (fewer minibatches/sec/core) must win more
+  // cores than the light one, which the uniform fallback cannot see.
+  const auto make_graph = [](double rate) {
+    GraphDef graph;
+    NodeDef src;
+    src.name = "src";
+    src.op = "range";
+    src.attrs[kAttrCount] = AttrValue(int64_t{1000});
+    EXPECT_TRUE(graph.AddNode(std::move(src)).ok());
+    NodeDef work;
+    work.name = "work";
+    work.op = "map";
+    work.inputs = {"src"};
+    work.attrs[kAttrUdf] = AttrValue("noop");
+    work.attrs[kAttrParallelism] = AttrValue(8);
+    EXPECT_TRUE(graph.AddNode(std::move(work)).ok());
+    graph.SetOutput("work");
+    EXPECT_TRUE(rewriter::SetTracedRate(&graph, "work", rate).ok());
+    return graph;
+  };
+  const GraphDef heavy = make_graph(25.0);   // slow stage: costly cores
+  const GraphDef light = make_graph(100.0);  // 4x faster per core
+
+  const JobDemand heavy_demand = DemandFromGraph("heavy", heavy);
+  ASSERT_EQ(heavy_demand.stages.size(), 1u);
+  EXPECT_EQ(heavy_demand.stages[0].name, "work");
+  EXPECT_NEAR(heavy_demand.stages[0].rate_per_core, 25.0, 1e-12);
+  EXPECT_FALSE(heavy_demand.stages[0].sequential);
+  EXPECT_EQ(heavy_demand.max_parallelism.at("work"), 8);
+
+  const MultiJobPlan plan = PlanMultiJobAllocation(
+      {heavy_demand, DemandFromGraph("light", light)}, 10);
+  // Maximin equalizes job rates: X/25 + X/100 = 10 -> X = 200, so
+  // heavy gets 8 cores (its cap) and light 2.
+  EXPECT_GT(plan.jobs.at("heavy").theta.at("work"),
+            plan.jobs.at("light").theta.at("work"));
+  EXPECT_EQ(plan.jobs.at("heavy").parallelism.at("work"), 8);
+  EXPECT_EQ(plan.jobs.at("light").parallelism.at("work"), 2);
+}
+
+TEST(MultiJobPlannerTest, TracedSequentialStageCapsAndUntracedFallback) {
+  // A stamped non-tunable node becomes a sequential rate cap; a graph
+  // with no stamps keeps the exact uniform fallback.
+  GraphDef graph;
+  NodeDef src;
+  src.name = "src";
+  src.op = "range";
+  src.attrs[kAttrCount] = AttrValue(int64_t{1000});
+  ASSERT_TRUE(graph.AddNode(std::move(src)).ok());
+  NodeDef work;
+  work.name = "work";
+  work.op = "map";
+  work.inputs = {"src"};
+  work.attrs[kAttrUdf] = AttrValue("noop");
+  work.attrs[kAttrParallelism] = AttrValue(4);
+  ASSERT_TRUE(graph.AddNode(std::move(work)).ok());
+  NodeDef sink;
+  sink.name = "sink";
+  sink.op = "batch";
+  sink.inputs = {"work"};
+  sink.attrs[kAttrBatchSize] = AttrValue(8);
+  ASSERT_TRUE(graph.AddNode(std::move(sink)).ok());
+  graph.SetOutput("sink");
+
+  const JobDemand untraced = DemandFromGraph("u", graph);
+  ASSERT_EQ(untraced.stages.size(), 1u);
+  EXPECT_NEAR(untraced.stages[0].rate_per_core, 1.0, 1e-12);
+
+  ASSERT_TRUE(rewriter::SetTracedRate(&graph, "work", 50.0).ok());
+  ASSERT_TRUE(rewriter::SetTracedRate(&graph, "sink", 30.0).ok());
+  const JobDemand traced = DemandFromGraph("t", graph);
+  ASSERT_EQ(traced.stages.size(), 2u);
+  bool saw_sequential_sink = false;
+  for (const MaxMinStage& stage : traced.stages) {
+    if (stage.name == "sink") {
+      saw_sequential_sink = stage.sequential;
+      EXPECT_NEAR(stage.rate_per_core, 30.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(saw_sequential_sink);
+  // The sequential sink (rate 30) caps the job below what its map
+  // could reach on a big budget.
+  const MultiJobPlan plan = PlanMultiJobAllocation({traced}, 64);
+  EXPECT_LE(plan.jobs.at("t").predicted_rate, 30.0 + 1e-9);
+}
+
+TEST(MultiJobPlannerTest, OptimizerStampsTracedRatesOnRealSchedule) {
+  // End to end: a real pass schedule leaves measured rates in the
+  // returned graph; the empty schedule stays byte-identical (covered
+  // by passes_test) and therefore unstamped.
+  PipelineTestEnv env;
+  OptimizeOptions options;
+  options.fs = &env.fs;
+  options.udfs = &env.udfs;
+  options.schedule = "parallelism";
+  options.trace_seconds = 0.05;
+  PlumberOptimizer optimizer(options);
+  GraphBuilder builder;
+  const std::string files = builder.FileList("files", "data/f");
+  const std::string records = builder.TfRecord("records", files);
+  const std::string mapped = builder.Map("mapped", records, "slow", 1);
+  const std::string root = builder.Prefetch("root", mapped, 2);
+  auto graph_or = builder.Build(root);
+  ASSERT_TRUE(graph_or.ok());
+  auto result = optimizer.Optimize(*graph_or);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(rewriter::GetTracedRate(result->graph, mapped), 0.0);
 }
 
 TEST(MultiJobPlannerTest, SequentialStageCapsJobRate) {
