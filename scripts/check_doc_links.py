@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md (plus any extra files given on the
+command line) for markdown links and inline `path` references of the
+form [text](target). External targets (http/https/mailto) and pure
+in-page anchors (#...) are ignored; everything else is resolved
+relative to the containing file and must exist in the working tree.
+
+Exit code 0 = all links resolve, 1 = at least one dead link (listed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    dead = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            # Strip a trailing anchor: docs/foo.md#section checks foo.md.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(repo_root)
+            except ValueError:
+                dead.append((path, lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                dead.append((path, lineno, target, "does not exist"))
+    return dead
+
+
+def main(argv: list) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = [repo_root / "README.md"]
+    files.extend(sorted((repo_root / "docs").glob("*.md")))
+    files.extend(Path(a).resolve() for a in argv[1:])
+    missing_inputs = [f for f in files if not f.exists()]
+    if missing_inputs:
+        for f in missing_inputs:
+            print(f"error: input file {f} not found")
+        return 1
+    dead = []
+    for f in files:
+        dead.extend(check_file(f, repo_root))
+    if dead:
+        print("dead links:")
+        for path, lineno, target, why in dead:
+            rel = path.relative_to(repo_root)
+            print(f"  {rel}:{lineno}: ({target}) {why}")
+        return 1
+    print(f"doc links OK: {len(files)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

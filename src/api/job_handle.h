@@ -32,6 +32,7 @@ class Session;
 // in flow.h next to Flow::Submit).
 using JobPhase = runtime::JobPhase;
 using JobProgress = runtime::JobProgress;
+using SloClass = runtime::SloClass;
 
 class JobHandle {
  public:

@@ -48,6 +48,8 @@ runtime::Executor& GetExecutor(SessionState& state) {
     SessionState* raw = &state;
     runtime::ExecutorOptions eopts;
     eopts.max_concurrent_jobs = state.options.max_concurrent_jobs;
+    eopts.slo_preemption = state.options.slo_preemption;
+    eopts.admission = state.options.admission;
     state.executor = std::make_unique<runtime::Executor>(
         [raw] { return MakePipelineOptions(*raw); },
         [raw] { return raw->options.machine; }, eopts);

@@ -20,6 +20,7 @@
 // bridges a hand-built GraphDef into the Session world.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,11 @@
 #include "src/runtime/executor.h"
 
 namespace plumber {
+
+// Api-level aliases for the admission vocabulary (SloClass is aliased
+// in job_handle.h next to the other job types).
+using AdmissionPolicy = runtime::AdmissionPolicy;
+using ClassAdmission = runtime::ClassAdmission;
 
 struct SessionOptions {
   MachineSpec machine = MachineSpec::SetupA();
@@ -54,6 +60,14 @@ struct SessionOptions {
   // splits the modeled cores). >0 queues excess submissions, which
   // shows up as RunReport::queue_seconds.
   int max_concurrent_jobs = 0;
+  // SLO-aware scheduling (see docs/scheduling.md): when true (default)
+  // JobOptions::slo tiers the core arbitration — interactive arrivals
+  // park batch worker pools to their floor and queued interactive jobs
+  // jump the admission queue. False = flat single-tier fair share.
+  bool slo_preemption = true;
+  // Per-SLO-class admission backpressure (queue / reject / shed),
+  // indexed by runtime::SloClass ordinal. Default: queue unbounded.
+  std::array<runtime::ClassAdmission, runtime::kNumSloClasses> admission = {};
 };
 
 namespace internal {

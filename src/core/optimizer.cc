@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/core/multi_job_planner.h"
 #include "src/core/passes/pass_registry.h"
+#include "src/util/logging.h"
 
 namespace plumber {
 
@@ -90,6 +92,17 @@ StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
             rewriter::SetTracedRate(&ctx.graph(), stage.name,
                                     stage.rate_per_core));
       }
+    }
+    // Traced demand is all-or-nothing per graph (see the
+    // DemandFromGraph contract): if the model's stages didn't cover
+    // every tunable node, the uncovered ones will dodge multi-job
+    // arbitration later. Surface that here, at stamping time, through
+    // the pass report path.
+    std::string warning;
+    (void)DemandFromGraph("optimize", ctx.graph(), &warning);
+    if (!warning.empty()) {
+      PLOG(Warning) << "optimizer: " << warning;
+      result.log.push_back("traced-rates: WARNING " + warning);
     }
   }
   result.graph = std::move(ctx.graph());

@@ -49,6 +49,17 @@ bool ParseIntToken(const std::string& token, int64_t* out) {
   return end == token.c_str() + token.size() && !token.empty();
 }
 
+bool ParseSloToken(const std::string& token, runtime::SloClass* out) {
+  for (int i = 0; i < runtime::kNumSloClasses; ++i) {
+    const auto slo = static_cast<runtime::SloClass>(i);
+    if (token == runtime::SloClassName(slo)) {
+      *out = slo;
+      return true;
+    }
+  }
+  return false;
+}
+
 int PickPin(Rng& rng, double pin_fraction, int num_hosts) {
   if (pin_fraction <= 0 || num_hosts <= 0) return -1;
   if (!rng.Bernoulli(pin_fraction)) return -1;
@@ -87,7 +98,9 @@ std::string ArrivalTrace::Serialize() const {
   for (const TraceJobClass& c : classes) {
     out += "class " + c.name + ' ' + FormatDouble(c.weight) + ' ' +
            FormatDouble(c.cost_ns) + ' ' + std::to_string(c.parallelism) +
-           ' ' + FormatDouble(c.mean_elements) + '\n';
+           ' ' + FormatDouble(c.mean_elements) + ' ' +
+           runtime::SloClassName(c.slo) + ' ' + FormatDouble(c.priority) +
+           '\n';
   }
   for (const ArrivalEvent& e : events) {
     out += "event " + FormatDouble(e.arrival_s) + ' ' +
@@ -119,8 +132,9 @@ StatusOr<ArrivalTrace> ArrivalTrace::Parse(const std::string& text) {
       continue;
     }
     if (tokens[0] == "class") {
-      if (tokens.size() != 6) {
-        return LineError(line_no, "class takes 5 fields, got " +
+      // 5 fields is the pre-SLO format; 7 adds <slo> <priority>.
+      if (tokens.size() != 6 && tokens.size() != 8) {
+        return LineError(line_no, "class takes 5 or 7 fields, got " +
                                       std::to_string(tokens.size() - 1));
       }
       TraceJobClass c;
@@ -142,6 +156,16 @@ StatusOr<ArrivalTrace> ArrivalTrace::Parse(const std::string& text) {
                          "bad class mean_elements '" + tokens[5] + "'");
       }
       c.parallelism = static_cast<int>(parallelism);
+      if (tokens.size() == 8) {
+        if (!ParseSloToken(tokens[6], &c.slo)) {
+          return LineError(line_no, "bad class slo '" + tokens[6] +
+                                        "' (want interactive|batch|"
+                                        "best_effort)");
+        }
+        if (!ParseDoubleToken(tokens[7], &c.priority) || c.priority <= 0) {
+          return LineError(line_no, "bad class priority '" + tokens[7] + "'");
+        }
+      }
       trace.classes.push_back(std::move(c));
       continue;
     }

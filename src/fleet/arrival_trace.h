@@ -13,7 +13,13 @@
 // numbers):
 //   plumber_arrival_trace v1
 //   class <name> <weight> <cost_ns> <parallelism> <mean_elements>
+//         ... [<slo> <priority>]   (continuation of the class line)
 //   event <arrival_s> <class_index> <elements> <pinned_host>
+// The trailing class fields are optional for back-compat with traces
+// serialized before SLO scheduling existed: <slo> is one of
+// interactive|batch|best_effort (default batch) and <priority> the
+// within-class water-fill weight (default 1). Serialize always emits
+// them.
 //
 // Two seeded generators cover the serving-paper workload shapes: a
 // homogeneous-rate Poisson process and a bursty on/off process (burst
@@ -26,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/job.h"
 #include "src/util/status.h"
 
 namespace plumber {
@@ -38,6 +45,11 @@ struct TraceJobClass {
   double cost_ns = 1e6;       // modeled UDF cost per element
   int parallelism = 1;        // configured map parallelism
   double mean_elements = 16;  // mean job size (elements)
+  // Scheduling identity every job of the class carries (JobOptions'
+  // slo/priority): the replay driver forwards both so host executors
+  // tier and weight the class accordingly.
+  runtime::SloClass slo = runtime::SloClass::kBatch;
+  double priority = 1.0;
 };
 
 // One job arrival.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "src/util/cpu_timer.h"
@@ -41,9 +42,17 @@ const char* DispatchPolicyName(DispatchPolicy policy) {
       return "least_loaded";
     case DispatchPolicy::kLocality:
       return "locality";
+    case DispatchPolicy::kSloAware:
+      return "slo_aware";
   }
   return "unknown";
 }
+
+namespace {
+// Sliding-window depth for per-host interactive queue-latency samples:
+// enough for a stable p95, small enough to track load shifts.
+constexpr size_t kLatencyWindow = 64;
+}  // namespace
 
 Status FleetJobHandle::Wait() const {
   if (record_ == nullptr) {
@@ -68,6 +77,7 @@ FleetJobStats FleetJobHandle::Stats() const {
     std::lock_guard<std::mutex> lock(record_->mu);
     stats.host = record_->host;
     stats.stolen = record_->stolen;
+    stats.slo = record_->options.slo;
     if (record_->dispatch_ns > 0) {
       stats.fleet_queue_s =
           (record_->dispatch_ns - record_->submit_ns) * 1e-9;
@@ -96,12 +106,15 @@ FleetRuntime::FleetRuntime(
   for (size_t h = 0; h < options_.hosts.size(); ++h) {
     runtime::ExecutorOptions eopts;
     eopts.max_concurrent_jobs = options_.host_concurrent_jobs;
+    eopts.slo_preemption = options_.slo_preemption;
+    eopts.admission = options_.admission;
     const int host = static_cast<int>(h);
     executors_.push_back(std::make_unique<runtime::Executor>(
         [this, host] { return pipeline_options_(host); },
         [this, host] { return options_.hosts[host]; }, eopts));
   }
   queues_.resize(options_.hosts.size());
+  interactive_queue_s_.resize(options_.hosts.size());
   pump_ = std::thread([this] { PumpLoop(); });
 }
 
@@ -164,8 +177,77 @@ int FleetRuntime::RouteLocked(const FleetJobRecord& record) {
     case DispatchPolicy::kLocality:
       if (record.pinned_host >= 0) return record.pinned_host % hosts;
       return LeastLoadedLocked();
+    case DispatchPolicy::kSloAware:
+      if (record.options.slo == runtime::SloClass::kInteractive) {
+        return LowestInteractiveLatencyLocked();
+      }
+      return LeastLoadedLocked();
   }
   return 0;
+}
+
+int FleetRuntime::LowestInteractiveLatencyLocked() const {
+  // Route to the host whose recent interactive arrivals queued the
+  // least. An unobserved host scores 0 — optimistic on purpose, so the
+  // dispatcher explores every host before trusting the windows — and
+  // the least-loaded score breaks ties (including the all-unobserved
+  // cold start).
+  int best = 0;
+  double best_p95 = std::numeric_limits<double>::infinity();
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int h = 0; h < num_hosts(); ++h) {
+    const double p95 = InteractiveP95Locked(h);
+    const runtime::ExecutorLoadSnapshot snap = executors_[h]->LoadSnapshot();
+    const double cores = std::max(1, options_.hosts[h].num_cores);
+    const double load = (snap.queued_jobs + snap.running_jobs +
+                         static_cast<double>(queues_[h].size())) /
+                        cores;
+    if (p95 < best_p95 - 1e-12 ||
+        (std::abs(p95 - best_p95) <= 1e-12 && load < best_load)) {
+      best_p95 = p95;
+      best_load = load;
+      best = h;
+    }
+  }
+  return best;
+}
+
+double FleetRuntime::InteractiveP95Locked(int host) const {
+  const std::deque<double>& window = interactive_queue_s_[host];
+  if (window.empty()) return 0;
+  std::vector<double> sorted(window.begin(), window.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx =
+      static_cast<size_t>(0.95 * (sorted.size() - 1) + 0.5);  // nearest rank
+  return sorted[idx];
+}
+
+void FleetRuntime::SampleInteractiveLatencyLocked() {
+  for (auto it = latency_watch_.begin(); it != latency_watch_.end();) {
+    RecordPtr& record = *it;
+    runtime::JobPtr job;
+    int host = -1;
+    int64_t fleet_queue_ns = 0;
+    {
+      std::lock_guard<std::mutex> rlock(record->mu);
+      job = record->job;
+      host = record->host;
+      fleet_queue_ns = record->dispatch_ns - record->submit_ns;
+    }
+    // Queueing ends when the driver starts (or the job finishes
+    // without ever starting — cancelled/failed in the queue, whose
+    // queue_seconds froze at that point).
+    if (job == nullptr || (!job->started() && !job->finished())) {
+      ++it;
+      continue;
+    }
+    if (host >= 0 && host < static_cast<int>(interactive_queue_s_.size())) {
+      std::deque<double>& window = interactive_queue_s_[host];
+      window.push_back(fleet_queue_ns * 1e-9 + job->queue_seconds());
+      while (window.size() > kLatencyWindow) window.pop_front();
+    }
+    it = latency_watch_.erase(it);
+  }
 }
 
 int FleetRuntime::LeastLoadedLocked() const {
@@ -191,12 +273,19 @@ int FleetRuntime::LeastLoadedLocked() const {
 void FleetRuntime::DispatchLocked(RecordPtr record, int host) {
   runtime::JobPtr job =
       executors_[host]->Submit(record->graph, record->options);
-  std::lock_guard<std::mutex> rlock(record->mu);
-  record->host = host;
-  record->dispatch_ns = WallNanos();
-  record->job = std::move(job);
-  record->terminal = true;
-  record->cv.notify_all();
+  const bool interactive =
+      record->options.slo == runtime::SloClass::kInteractive;
+  {
+    std::lock_guard<std::mutex> rlock(record->mu);
+    record->host = host;
+    record->dispatch_ns = WallNanos();
+    record->job = std::move(job);
+    record->terminal = true;
+    record->cv.notify_all();
+  }
+  // Feed the kSloAware latency signal: watch this job until its
+  // queueing ends, then record how long it queued on this host.
+  if (interactive) latency_watch_.push_back(std::move(record));
 }
 
 FleetHostLoad FleetRuntime::HostLoad(int host) const {
@@ -204,6 +293,7 @@ FleetHostLoad FleetRuntime::HostLoad(int host) const {
   std::lock_guard<std::mutex> lock(mu_);
   load.executor = executors_[host]->LoadSnapshot();
   load.fleet_queued = static_cast<int>(queues_[host].size());
+  load.interactive_p95_queue_s = InteractiveP95Locked(host);
   return load;
 }
 
@@ -215,6 +305,7 @@ void FleetRuntime::PumpLoop() {
   const int cap = options_.host_concurrent_jobs + options_.dispatch_depth;
   for (;;) {
     if (stop_) return;
+    SampleInteractiveLatencyLocked();
     bool any_queued = false;
     for (int h = 0; h < num_hosts(); ++h) {
       runtime::ExecutorLoadSnapshot snap = executors_[h]->LoadSnapshot();

@@ -11,6 +11,10 @@
 //   kLeastLoaded  fewest (executor queued + running + fleet-queued)
 //                 jobs per modeled core, from live LoadSnapshots
 //   kLocality     a job's pinned_host when set, least-loaded otherwise
+//   kSloAware     interactive jobs go to the host whose recently
+//                 observed interactive queue latency p95 is lowest
+//                 (ties and unobserved hosts by load); other classes
+//                 dispatch least-loaded
 //
 // Jobs wait in per-host fleet queues; a pump thread feeds each host's
 // executor only as many jobs as it can admit (plus a small dispatch
@@ -27,6 +31,7 @@
 // completion_s is the sum: what a caller waits end to end.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -41,7 +46,7 @@
 namespace plumber {
 namespace fleet {
 
-enum class DispatchPolicy { kRoundRobin, kLeastLoaded, kLocality };
+enum class DispatchPolicy { kRoundRobin, kLeastLoaded, kLocality, kSloAware };
 
 const char* DispatchPolicyName(DispatchPolicy policy);
 
@@ -57,9 +62,17 @@ struct FleetOptions {
   // host never idles between completions; everything past this stays
   // in the (stealable) fleet queue.
   int dispatch_depth = 1;
+  // Forwarded to every host executor (see runtime::ExecutorOptions):
+  // SLO class tiers within each host's core arbitration, and per-class
+  // admission backpressure.
+  bool slo_preemption = true;
+  std::array<runtime::ClassAdmission, runtime::kNumSloClasses> admission = {};
 };
 
 struct FleetJobOptions {
+  // Per-job runtime options; job.slo carries the SLO class across the
+  // fleet — the kSloAware dispatcher routes on it and every host
+  // executor schedules by it.
   runtime::JobOptions job;
   // Locality preference: the kLocality policy dispatches to this host;
   // work stealing may still move the job if the host is backlogged.
@@ -70,6 +83,7 @@ struct FleetJobOptions {
 struct FleetJobStats {
   int host = -1;            // host that ran the job
   bool stolen = false;      // re-routed by work stealing
+  runtime::SloClass slo = runtime::SloClass::kBatch;
   double fleet_queue_s = 0;
   double exec_queue_s = 0;
   double run_s = 0;
@@ -108,6 +122,10 @@ class FleetJobHandle {
 struct FleetHostLoad {
   runtime::ExecutorLoadSnapshot executor;
   int fleet_queued = 0;  // waiting in this host's stealable queue
+  // p95 of the host's recently observed interactive queue latencies
+  // (fleet queue + executor queue, seconds); 0 until a sample lands.
+  // The signal the kSloAware dispatcher routes interactive jobs by.
+  double interactive_p95_queue_s = 0;
 };
 
 class FleetRuntime {
@@ -144,6 +162,13 @@ class FleetRuntime {
   // Picks the target host for a new job (mu_ held).
   int RouteLocked(const internal::FleetJobRecord& record);
   int LeastLoadedLocked() const;
+  // The kSloAware choice for an interactive job: lowest observed
+  // interactive queue-latency p95, load as tiebreak (mu_ held).
+  int LowestInteractiveLatencyLocked() const;
+  double InteractiveP95Locked(int host) const;
+  // Sweeps dispatched interactive jobs whose queueing has ended into
+  // the per-host latency windows (mu_ held).
+  void SampleInteractiveLatencyLocked();
   // Hands one queued record to a host's executor (mu_ held).
   void DispatchLocked(RecordPtr record, int host);
 
@@ -158,6 +183,11 @@ class FleetRuntime {
   int rr_next_ = 0;
   std::vector<std::deque<RecordPtr>> queues_;  // per-host, stealable
   std::atomic<int64_t> steal_count_{0};
+  // Interactive jobs dispatched but not yet sampled: once a job's
+  // driver starts (queueing over), its fleet+executor queue latency
+  // lands in its host's sliding window below and it leaves this list.
+  std::vector<RecordPtr> latency_watch_;
+  std::vector<std::deque<double>> interactive_queue_s_;  // per-host window
   std::thread pump_;
 };
 

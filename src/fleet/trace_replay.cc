@@ -1,6 +1,7 @@
 #include "src/fleet/trace_replay.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -77,6 +78,10 @@ StatusOr<FleetReport> TraceReplayDriver::Replay(
     }
     FleetJobOptions jopts;
     jopts.pinned_host = event.pinned_host;
+    // The class's scheduling identity rides along: hosts tier/weight
+    // the job, the kSloAware dispatcher routes interactive traffic.
+    jopts.job.slo = trace.classes[event.job_class].slo;
+    jopts.job.priority = trace.classes[event.job_class].priority;
     handles.push_back(fleet_->Submit(MakeJobGraph(trace, event), jopts));
   }
 
@@ -84,6 +89,8 @@ StatusOr<FleetReport> TraceReplayDriver::Replay(
   report.num_hosts = fleet_->num_hosts();
   report.num_jobs = static_cast<int64_t>(handles.size());
   std::vector<double> queue_s, completion_s;
+  std::array<std::vector<double>, runtime::kNumSloClasses> class_queue_s;
+  std::array<std::vector<double>, runtime::kNumSloClasses> class_completion_s;
   std::vector<double> busy_core_s(report.num_hosts, 0);
   queue_s.reserve(handles.size());
   completion_s.reserve(handles.size());
@@ -98,6 +105,10 @@ StatusOr<FleetReport> TraceReplayDriver::Replay(
     queue_s.push_back(stats.fleet_queue_s + stats.exec_queue_s);
     completion_s.push_back(stats.completion_s);
     completion_sum += stats.completion_s;
+    const auto slo_idx = static_cast<size_t>(stats.slo);
+    class_queue_s[slo_idx].push_back(stats.fleet_queue_s +
+                                     stats.exec_queue_s);
+    class_completion_s[slo_idx].push_back(stats.completion_s);
     if (stats.host >= 0 && stats.host < report.num_hosts) {
       const TraceJobClass& job_class =
           trace.classes[trace.events[i].job_class];
@@ -118,6 +129,22 @@ StatusOr<FleetReport> TraceReplayDriver::Replay(
   if (!completion_s.empty()) {
     report.mean_completion_s =
         completion_sum / static_cast<double>(completion_s.size());
+  }
+  for (int c = 0; c < runtime::kNumSloClasses; ++c) {
+    const std::vector<double>& cq = class_queue_s[c];
+    const std::vector<double>& cc = class_completion_s[c];
+    if (cc.empty()) continue;
+    FleetClassLatency latency;
+    latency.slo = static_cast<runtime::SloClass>(c);
+    latency.num_jobs = static_cast<int64_t>(cc.size());
+    latency.p50_queue_s = LatencyPercentile(cq, 0.50);
+    latency.p95_queue_s = LatencyPercentile(cq, 0.95);
+    latency.p50_completion_s = LatencyPercentile(cc, 0.50);
+    latency.p95_completion_s = LatencyPercentile(cc, 0.95);
+    double sum = 0;
+    for (double v : cc) sum += v;
+    latency.mean_completion_s = sum / static_cast<double>(cc.size());
+    report.by_class.push_back(latency);
   }
   double total_cores = 0, weighted = 0;
   for (int h = 0; h < report.num_hosts; ++h) {
@@ -154,6 +181,16 @@ std::string FleetReport::ToString() const {
                 p50_completion_s, p95_completion_s, p99_completion_s,
                 mean_completion_s);
   out += buf;
+  for (const FleetClassLatency& c : by_class) {
+    std::snprintf(buf, sizeof(buf),
+                  "  class %-11s %6lld jobs  queue p50 %.3fs p95 %.3fs  "
+                  "completion p50 %.3fs p95 %.3fs mean %.3fs\n",
+                  runtime::SloClassName(c.slo),
+                  static_cast<long long>(c.num_jobs), c.p50_queue_s,
+                  c.p95_queue_s, c.p50_completion_s, c.p95_completion_s,
+                  c.mean_completion_s);
+    out += buf;
+  }
   out += "  utilization";
   for (size_t h = 0; h < host_utilization.size(); ++h) {
     std::snprintf(buf, sizeof(buf), " host%zu=%.2f", h, host_utilization[h]);

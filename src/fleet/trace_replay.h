@@ -33,6 +33,17 @@ struct TraceReplayOptions {
   bool respect_arrivals = true;
 };
 
+// Latency quantiles for one SLO class's slice of a replay — the view
+// that shows whether interactive traffic actually got its latency
+// while batch kept its throughput.
+struct FleetClassLatency {
+  runtime::SloClass slo = runtime::SloClass::kBatch;
+  int64_t num_jobs = 0;
+  double p50_queue_s = 0, p95_queue_s = 0;
+  double p50_completion_s = 0, p95_completion_s = 0;
+  double mean_completion_s = 0;
+};
+
 struct FleetReport {
   int num_hosts = 0;
   int64_t num_jobs = 0;
@@ -44,6 +55,9 @@ struct FleetReport {
   // Completion latency = queue + run (submit -> finished).
   double p50_completion_s = 0, p95_completion_s = 0, p99_completion_s = 0;
   double mean_completion_s = 0;
+  // Per-SLO-class breakdown of the same latencies; only classes with
+  // at least one completed job appear, in tier order.
+  std::vector<FleetClassLatency> by_class;
   // Modeled busy-core fraction per host over the makespan, and the
   // core-weighted fleet mean.
   std::vector<double> host_utilization;

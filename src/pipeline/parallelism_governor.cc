@@ -22,6 +22,11 @@ int ParallelismGovernor::Target(const std::string& node) const {
   return it == targets_.end() ? 0 : it->second;
 }
 
+std::map<std::string, int> ParallelismGovernor::Targets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return targets_;
+}
+
 uint64_t ParallelismGovernor::Register(const std::string& node,
                                        int configured,
                                        std::function<void(int)> on_resize) {

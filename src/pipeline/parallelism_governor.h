@@ -44,6 +44,12 @@ class ParallelismGovernor {
   // The published target for `node`; 0 if none.
   int Target(const std::string& node) const;
 
+  // Snapshot of every live override (node -> target). The executor's
+  // SLO preemption is observable here: a parked batch job shows its
+  // floor targets while an interactive job is resident, and the map
+  // empties again when the override is cleared on restore.
+  std::map<std::string, int> Targets() const;
+
   // Registers a resize listener for `node`; returns a registration id
   // for Unregister. `configured` is the iterator's graph-configured
   // parallelism, reported back to the listener when a target is

@@ -7,9 +7,22 @@
 #include "src/core/rewriter.h"
 #include "src/pipeline/ops.h"
 #include "src/util/cpu_timer.h"
+#include "src/util/logging.h"
 
 namespace plumber {
 namespace runtime {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kQueue:
+      return "queue";
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
 
 Executor::Executor(std::function<PipelineOptions()> pipeline_options,
                    std::function<MachineSpec()> machine,
@@ -54,9 +67,72 @@ JobPtr Executor::Submit(GraphDef graph, JobOptions options) {
                          CancelledError("executor shut down"));
     return job;
   }
-  pending_.push_back(job);
-  cv_.notify_all();
+  if (AdmitToQueueLocked(job)) cv_.notify_all();
   return job;
+}
+
+void Executor::EnqueuePendingLocked(JobPtr job) {
+  auto pos = pending_.end();
+  if (options_.slo_preemption) {
+    // Class-ordered queue: ahead of the first queued job in a lower
+    // tier (higher ordinal), behind every same-or-better-tier job —
+    // FIFO within a class.
+    const int tier = static_cast<int>(job->options().slo);
+    pos = std::find_if(pending_.begin(), pending_.end(),
+                       [tier](const JobPtr& queued) {
+                         return static_cast<int>(queued->options().slo) > tier;
+                       });
+  }
+  pending_.insert(pos, std::move(job));
+}
+
+bool Executor::AdmitToQueueLocked(JobPtr job) {
+  const SloClass slo = job->options().slo;
+  const ClassAdmission& admission =
+      options_.admission[static_cast<size_t>(slo)];
+  const auto queued_of_class = [&] {
+    int count = 0;
+    for (const JobPtr& queued : pending_) {
+      if (queued->options().slo == slo) ++count;
+    }
+    return count;
+  };
+  // "Must queue" means the running cap is full counting everything
+  // already ahead of this submission — with an unlimited cap every
+  // pending job is admitted at the next scheduler tick, so
+  // backpressure never engages.
+  const bool must_queue =
+      options_.max_concurrent_jobs > 0 &&
+      static_cast<int>(live_.size() + pending_.size()) >=
+          options_.max_concurrent_jobs;
+  if (admission.policy == AdmissionPolicy::kReject && must_queue &&
+      queued_of_class() >= admission.max_queued) {
+    FinishWithoutRunning(
+        job.get(), JobPhase::kFailed,
+        ResourceExhaustedError(
+            std::string("admission rejected: class '") + SloClassName(slo) +
+            "' is at capacity (policy reject, " +
+            std::to_string(queued_of_class()) + " queued)"));
+    return false;
+  }
+  EnqueuePendingLocked(std::move(job));
+  if (admission.policy == AdmissionPolicy::kShed && admission.max_queued > 0) {
+    while (queued_of_class() > admission.max_queued) {
+      // Shed the oldest queued job of the class (the head of its FIFO
+      // run): under overload, fresher requests carry fresher intent.
+      auto oldest = std::find_if(
+          pending_.begin(), pending_.end(),
+          [slo](const JobPtr& queued) { return queued->options().slo == slo; });
+      FinishWithoutRunning(
+          oldest->get(), JobPhase::kFailed,
+          ResourceExhaustedError(
+              std::string("shed from admission queue: class '") +
+              SloClassName(slo) + "' exceeded max_queued=" +
+              std::to_string(admission.max_queued)));
+      pending_.erase(oldest);
+    }
+  }
+  return true;
 }
 
 int Executor::live_jobs() const {
@@ -74,8 +150,12 @@ ExecutorLoadSnapshot Executor::LoadSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot.queued_jobs = static_cast<int>(pending_.size());
   snapshot.running_jobs = static_cast<int>(live_.size());
+  for (const JobPtr& job : pending_) {
+    ++snapshot.queued_by_class[static_cast<size_t>(job->options().slo)];
+  }
   for (const auto& [id, job] : live_) {
     (void)id;
+    ++snapshot.running_by_class[static_cast<size_t>(job->options().slo)];
     // planned_graph_ is the submitted graph until arbitration rewrites
     // it, so the sum covers both arbitrated grants and configured
     // knobs. Same lock order as AdmitLocked (executor mu_ -> job mu_).
@@ -213,8 +293,20 @@ void Executor::ReplanLocked() {
   std::vector<JobDemand> demands;
   demands.reserve(live.size());
   for (const JobPtr& job : live) {
-    demands.push_back(
-        DemandFromGraph(std::to_string(job->id()), job->graph_));
+    std::string warning;
+    JobDemand demand =
+        DemandFromGraph(std::to_string(job->id()), job->graph_, &warning);
+    if (!warning.empty() && demand_warned_.insert(job->id()).second) {
+      // Partially traced graph (see the DemandFromGraph contract):
+      // unstamped tunable stages dodge arbitration. Once per job, not
+      // per re-plan.
+      PLOG(Warning) << "job '" << job->name() << "': " << warning;
+    }
+    demand.weight = job->options().priority;
+    if (options_.slo_preemption) {
+      demand.tier = static_cast<int>(job->options().slo);
+    }
+    demands.push_back(std::move(demand));
   }
   const MultiJobPlan plan =
       PlanMultiJobAllocation(demands, machine_().num_cores);
@@ -295,6 +387,7 @@ void Executor::DriverLoop(JobPtr job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     live_.erase(job->id());
+    demand_warned_.erase(job->id());
     ReplanLocked();
     finished_driver_ids_.push_back(job->id());
     cv_.notify_all();

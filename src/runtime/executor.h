@@ -14,17 +14,28 @@
 // single-tenant Flow::Run always did — and when departures leave a
 // single survivor its configured knobs are restored.
 //
+// Scheduling is SLO-aware (see docs/scheduling.md): jobs carry an SLO
+// class and a priority weight (JobOptions), the arbitration allocates
+// class tiers in order with work-conserving redistribution, queued
+// interactive jobs jump ahead of queued batch work, and each class has
+// an admission backpressure policy (queue / reject / shed) evaluated
+// at Submit. With defaults everywhere — every job kBatch at priority
+// 1, kQueue admission — the behavior is exactly the flat fair-share
+// scheduler this replaced.
+//
 // Lifetime: the Executor owns the scheduler and driver threads and
 // keeps every unfinished job alive; destruction cancels all jobs and
 // joins everything. Handles (shared_ptr<Job>) stay valid after the
 // Executor (and its Session) are gone.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -34,11 +45,48 @@
 namespace plumber {
 namespace runtime {
 
+// Backpressure applied at Submit time, per SLO class.
+enum class AdmissionPolicy {
+  // Queue without bound until the running cap frees up (historical
+  // behavior; the default for every class).
+  kQueue,
+  // Refuse jobs that cannot start: a submission that would have to
+  // queue behind the running cap finishes immediately as kFailed with
+  // a kResourceExhausted status. `max_queued > 0` relaxes this to
+  // allow that many queued jobs of the class before refusing.
+  kReject,
+  // Admit the newcomer, drop the oldest: the submission always enters
+  // the queue, and if the class's queue depth then exceeds
+  // `max_queued` the oldest queued job of the same class finishes as
+  // kFailed / kResourceExhausted. `max_queued == 0` never sheds
+  // (equivalent to kQueue).
+  kShed,
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+struct ClassAdmission {
+  AdmissionPolicy policy = AdmissionPolicy::kQueue;
+  // Queue-depth bound for kReject / kShed; see AdmissionPolicy.
+  int max_queued = 0;
+};
+
 struct ExecutorOptions {
   // Jobs allowed to run concurrently; 0 = unlimited (every submission
   // is admitted at the next scheduler tick, cores arbitrated by the
   // planner rather than by queueing).
   int max_concurrent_jobs = 0;
+  // When true (default) the scheduler honors JobOptions::slo: the
+  // core arbitration allocates in class tiers — an interactive
+  // arrival parks resident batch/best-effort worker pools down to
+  // their floor of one worker per stage, and its departure restores
+  // them — and queued interactive jobs jump ahead of queued batch
+  // work. When false every job is planned in one tier and the queue
+  // is strict FIFO (the pre-SLO scheduler, the bench's control arm).
+  // JobOptions::priority weights apply either way.
+  bool slo_preemption = true;
+  // Per-class admission backpressure, indexed by SloClass ordinal.
+  std::array<ClassAdmission, kNumSloClasses> admission = {};
 };
 
 // Point-in-time load view of one Executor: the dispatch signal a
@@ -51,6 +99,10 @@ struct ExecutorLoadSnapshot {
   // arbitrated plan when re-planned, the configured knobs otherwise):
   // how many modeled cores the running set is entitled to occupy.
   double granted_cores = 0;
+  // The same queue/running view broken out by SloClass ordinal — the
+  // per-class signal a fleet dispatcher or dashboard reads.
+  std::array<int, kNumSloClasses> queued_by_class = {};
+  std::array<int, kNumSloClasses> running_by_class = {};
 };
 
 class Executor {
@@ -79,6 +131,13 @@ class Executor {
 
  private:
   void SchedulerLoop();
+  // Inserts into pending_ in class-tier order (interactive ahead of
+  // batch ahead of best-effort, FIFO within a class) when
+  // slo_preemption is on; plain FIFO otherwise.
+  void EnqueuePendingLocked(JobPtr job);
+  // Applies the submitting class's AdmissionPolicy. Returns false when
+  // the job was refused (already finished as kFailed).
+  bool AdmitToQueueLocked(JobPtr job);
   void AdmitLocked(JobPtr job);
   // Recomputes the multi-job core split over the live set and applies
   // it (planned graphs + governor targets). Single survivor gets its
@@ -98,6 +157,10 @@ class Executor {
   uint64_t next_job_id_ = 1;
   std::deque<JobPtr> pending_;
   std::map<uint64_t, JobPtr> live_;
+  // Jobs whose partially-traced demand was already warned about, so
+  // the DemandFromGraph contract violation logs once per job rather
+  // than on every re-plan. Pruned on departure.
+  std::set<uint64_t> demand_warned_;
   std::map<uint64_t, std::thread> drivers_;
   std::vector<uint64_t> finished_driver_ids_;
   std::thread scheduler_;

@@ -21,6 +21,18 @@ const char* JobPhaseName(JobPhase phase) {
   return "unknown";
 }
 
+const char* SloClassName(SloClass slo) {
+  switch (slo) {
+    case SloClass::kInteractive:
+      return "interactive";
+    case SloClass::kBatch:
+      return "batch";
+    case SloClass::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
 Job::Job(uint64_t id, std::string name, GraphDef graph, JobOptions options)
     : id_(id),
       name_(std::move(name)),

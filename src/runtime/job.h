@@ -31,12 +31,37 @@ enum class JobPhase { kQueued, kRunning, kDone, kCancelled, kFailed };
 
 const char* JobPhaseName(JobPhase phase);
 
+// SLO class of a job: how the scheduler treats it when the machine is
+// contended. Classes are allocation *tiers* — the executor plans
+// interactive jobs first (parking batch/best-effort worker pools down
+// to their floor of one worker per stage), batch next, best-effort
+// last — and each class carries its own admission backpressure policy
+// (ExecutorOptions::admission). Within a class, JobOptions::priority
+// weights the water-fill share. The enum order IS the tier order.
+enum class SloClass { kInteractive = 0, kBatch = 1, kBestEffort = 2 };
+inline constexpr int kNumSloClasses = 3;
+
+const char* SloClassName(SloClass slo);
+
 struct JobOptions {
   // Stop conditions, warmup, simulated step time, engine batch override
   // — exactly what Flow::Run accepts (Run is Submit + Wait).
   RunOptions run;
   // Label for reports/progress; "job-<id>" when empty.
   std::string name;
+  // Latency class. kBatch (the default) reproduces the classic
+  // all-jobs-equal arbitration when every job uses it.
+  SloClass slo = SloClass::kBatch;
+  // Weight within the class: the weighted water-fill equalizes
+  // rate/priority across same-class jobs, so a priority-3 job targets
+  // 3x the rate (and so roughly 3x the cores) of a priority-1 peer.
+  // Values <= 0 are treated as 1.
+  double priority = 1.0;
+  // Optional completion-latency target in seconds (0 = none). Purely
+  // declarative today: recorded so drivers/reports can score attainment
+  // (e.g. TraceReplayDriver's per-class breakdown); the scheduler does
+  // not use it to order work.
+  double latency_target_s = 0;
 };
 
 // Live snapshot of a job, observable at any phase.

@@ -196,6 +196,61 @@ TEST(FleetRuntimeTest, ReplaySmallTraceReportsSaneFleetMetrics) {
   EXPECT_FALSE(report->ToString().empty());
 }
 
+TEST(FleetRuntimeTest, SloAwareDispatchCarriesClassAndReportsByClass) {
+  auto fleet = MakeFleet(2, DispatchPolicy::kSloAware,
+                         /*stealing=*/false, /*cost_ns=*/2e5);
+  // A directly submitted job carries its SLO class into the fleet
+  // stats (the kSloAware dispatcher routes on it).
+  FleetJobOptions inter_opts;
+  inter_opts.job.slo = runtime::SloClass::kInteractive;
+  inter_opts.job.priority = 2.0;
+  FleetJobHandle probe = fleet->Submit(WorkGraph(10), inter_opts);
+  ASSERT_TRUE(probe.Wait().ok());
+  EXPECT_EQ(probe.Stats().slo, runtime::SloClass::kInteractive);
+  EXPECT_GE(probe.Stats().host, 0);
+
+  // Replay of a mixed-class trace: the report breaks latencies out per
+  // class, tier order first, covering every replayed job exactly once.
+  ArrivalTrace trace;
+  TraceJobClass rpc;
+  rpc.name = "rpc";
+  rpc.weight = 1.0;
+  rpc.cost_ns = 2e5;
+  rpc.parallelism = 2;
+  rpc.mean_elements = 6;
+  rpc.slo = runtime::SloClass::kInteractive;
+  TraceJobClass bulk;
+  bulk.name = "bulk";
+  bulk.weight = 1.0;
+  bulk.cost_ns = 2e5;
+  bulk.parallelism = 2;
+  bulk.mean_elements = 12;  // slo defaults to kBatch
+  PoissonTraceOptions options;
+  options.seed = 7;
+  options.num_jobs = 24;
+  options.mean_interarrival_s = 0.005;
+  trace = MakePoissonTrace({rpc, bulk}, options);
+
+  auto report = fleet->Replay(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->failed_jobs, 0);
+  ASSERT_FALSE(report->by_class.empty());
+  int64_t jobs_covered = 0;
+  for (const FleetClassLatency& c : report->by_class) {
+    jobs_covered += c.num_jobs;
+    EXPECT_GT(c.num_jobs, 0);
+    EXPECT_LE(c.p50_completion_s, c.p95_completion_s);
+    EXPECT_LE(c.p50_queue_s, c.p95_queue_s);
+  }
+  EXPECT_EQ(jobs_covered, report->num_jobs);
+  if (report->by_class.size() == 2) {
+    // Tier order: interactive before batch.
+    EXPECT_EQ(report->by_class[0].slo, runtime::SloClass::kInteractive);
+    EXPECT_EQ(report->by_class[1].slo, runtime::SloClass::kBatch);
+    EXPECT_NE(report->ToString().find("interactive"), std::string::npos);
+  }
+}
+
 TEST(FleetRuntimeTest, ReplayWithoutArrivalsDrainsBacklog) {
   auto fleet = MakeFleet(2, DispatchPolicy::kLeastLoaded,
                          /*stealing=*/true, /*cost_ns=*/1e5);

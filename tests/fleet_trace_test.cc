@@ -81,6 +81,52 @@ TEST(ArrivalTraceTest, MalformedLinesRejectWithLineNumbers) {
   EXPECT_FALSE(ArrivalTrace::Parse("").ok());
 }
 
+TEST(ArrivalTraceTest, SloAndPriorityRoundTripWithBackCompat) {
+  ArrivalTrace trace;
+  TraceJobClass rpc;
+  rpc.name = "rpc";
+  rpc.weight = 0.5;
+  rpc.cost_ns = 2e5;
+  rpc.parallelism = 4;
+  rpc.mean_elements = 8;
+  rpc.slo = runtime::SloClass::kInteractive;
+  rpc.priority = 2.5;
+  trace.classes.push_back(rpc);
+  trace.classes.push_back({"bulk", 0.5, 1e6, 2, 32});  // class defaults
+  trace.events.push_back({0.0, 0, 4, -1});
+  const std::string text = trace.Serialize();
+  // Serialize always writes the 7-field class line (slo by name).
+  EXPECT_NE(text.find("interactive"), std::string::npos);
+  EXPECT_NE(text.find("batch"), std::string::npos);
+  auto parsed = ArrivalTrace::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), text);
+  EXPECT_EQ(parsed->classes[0].slo, runtime::SloClass::kInteractive);
+  EXPECT_EQ(parsed->classes[0].priority, 2.5);
+  EXPECT_EQ(parsed->classes[1].slo, runtime::SloClass::kBatch);
+  EXPECT_EQ(parsed->classes[1].priority, 1.0);
+
+  // Pre-SLO 5-field class lines still parse, with the batch defaults.
+  auto legacy = ArrivalTrace::Parse(
+      "plumber_arrival_trace v1\n"
+      "class c 1 1000 1 4\n"
+      "event 0.5 0 3 -1\n");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->classes[0].slo, runtime::SloClass::kBatch);
+  EXPECT_EQ(legacy->classes[0].priority, 1.0);
+
+  // An unknown SLO token and a non-positive priority both reject with
+  // the offending line number.
+  for (const char* bad :
+       {"plumber_arrival_trace v1\nclass c 1 1000 1 4 turbo 1\n",
+        "plumber_arrival_trace v1\nclass c 1 1000 1 4 batch 0\n"}) {
+    auto rejected = ArrivalTrace::Parse(bad);
+    ASSERT_FALSE(rejected.ok()) << bad;
+    EXPECT_NE(rejected.status().message().find("line 2"), std::string::npos)
+        << rejected.status().ToString();
+  }
+}
+
 TEST(ArrivalTraceTest, PoissonTraceIsSeedDeterministic) {
   PoissonTraceOptions options;
   options.seed = 99;
