@@ -72,6 +72,7 @@ DEFAULT_BENCHES = [
     "bench_fleet_replay",
     "bench_fig3_fleet_latency",
     "bench_fig4_fleet_utilization",
+    "bench_obs8_cache",
 ]
 
 # Wrapper-bench metric carrying the host's calibrated spin rate; it is

@@ -1,5 +1,7 @@
 #include "src/api/fleet_session.h"
 
+#include "src/core/rewriter.h"
+
 namespace plumber {
 
 FleetSession::FleetSession(FleetSessionOptions options)
@@ -25,9 +27,26 @@ FleetSession::FleetSession(FleetSessionOptions options)
         const MachineSpec& machine = options_.hosts[host];
         popts.cpu_scale = machine.cpu_scale;
         popts.memory_budget_bytes = machine.memory_bytes;
+        popts.scratch = machine.scratch;
+        popts.scratch_budget_bytes = machine.scratch_bytes;
         popts.seed = options_.seed + static_cast<uint64_t>(host);
         return popts;
       });
+}
+
+fleet::FleetJobHandle FleetSession::Submit(GraphDef graph,
+                                           fleet::FleetJobOptions options) {
+  if (options.pinned_host < 0) {
+    // Shard-stamped programs get locality by default: shard i of a
+    // ShardSource rewrite runs on host i mod fleet size. An explicit
+    // pin (>= 0) always wins.
+    const int shard = rewriter::GraphShardIndex(graph);
+    if (shard >= 0) {
+      options.pinned_host =
+          shard % static_cast<int>(options_.hosts.size());
+    }
+  }
+  return runtime_->Submit(std::move(graph), std::move(options));
 }
 
 StatusOr<fleet::FleetReport> FleetSession::Replay(

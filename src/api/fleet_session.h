@@ -61,11 +61,14 @@ class FleetSession {
                                   bytes_per_record);
   }
 
-  // Routes one program into the fleet (see FleetRuntime::Submit).
+  // Routes one program into the fleet (see FleetRuntime::Submit). A
+  // per-shard program cut out by rewriter::ExtractShard carries its
+  // shard index in the graph; when the caller leaves pinned_host unset,
+  // Submit pins such a program to host (shard index % num hosts), so
+  // the shards of one ShardSource rewrite land on distinct hosts and
+  // read against distinct modeled devices.
   fleet::FleetJobHandle Submit(GraphDef graph,
-                               fleet::FleetJobOptions options = {}) {
-    return runtime_->Submit(std::move(graph), std::move(options));
-  }
+                               fleet::FleetJobOptions options = {});
 
   // Replays an arrival trace through the fleet and reports fleet-wide
   // latency quantiles and per-host utilization.

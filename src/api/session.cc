@@ -18,6 +18,8 @@ PipelineOptions MakePipelineOptions(SessionState& state) {
                                   ? so.memory_budget_bytes
                                   : so.machine.memory_bytes;
   popts.engine_batch_size = so.engine_batch_size;
+  popts.scratch = so.machine.scratch;
+  popts.scratch_budget_bytes = so.machine.scratch_bytes;
   return popts;
 }
 

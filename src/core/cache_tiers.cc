@@ -28,8 +28,9 @@ TieredCacheDecision PlanCacheTiered(const PipelineModel& model,
   const double uncached_rate =
       PlanAllocation(model, lp_options).predicted_rate;
 
-  for (const auto& node : model.nodes()) {
-    if (!node.cacheable || node.materialized_bytes < 0) continue;
+  // Same candidate set as PlanCache — the tiers only change the fit
+  // test, never what counts as a placement site.
+  ForEachCacheCandidate(model, [&](const NodeModel& node) {
     CacheCandidate candidate;
     candidate.node = node.name;
     candidate.materialized_bytes = node.materialized_bytes;
@@ -58,7 +59,7 @@ TieredCacheDecision PlanCacheTiered(const PipelineModel& model,
       decision.tier = fits_memory ? CacheTier::kMemory : CacheTier::kDisk;
       decision.disk_serve_rate = fits_memory ? 0 : serve_rate;
     }
-  }
+  });
   return decision;
 }
 

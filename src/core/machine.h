@@ -21,6 +21,13 @@ struct MachineSpec {
   // Multiplies UDF CPU cost: >1 means slower cores.
   double cpu_scale = 1.0;
   DeviceSpec storage = DeviceSpec::Unlimited();
+  // Local scratch tier (SSD) for disk-tier cache materialization
+  // (paper §4.1 extensions). Disabled until both a bandwidth and a
+  // capacity are set: scratch_bytes = 0 or scratch.max_bandwidth = 0
+  // means there is no disk tier and CachePlacementPass only considers
+  // DRAM.
+  DeviceSpec scratch = DeviceSpec::Unlimited();
+  uint64_t scratch_bytes = 0;
 
   // Setup A: consumer-grade AMD 2700X, 16 cores, 32 GiB.
   static MachineSpec SetupA(double byte_scale = 1.0);

@@ -19,6 +19,8 @@ PipelineOptions OptimizeOptions::MakePipelineOptions() const {
   popts.tracing_enabled = true;
   popts.memory_budget_bytes = machine.memory_bytes;
   popts.engine_batch_size = engine_batch_size;
+  popts.scratch = machine.scratch;
+  popts.scratch_budget_bytes = machine.scratch_bytes;
   return popts;
 }
 
@@ -68,6 +70,13 @@ StatusOr<OptimizeResult> PlumberOptimizer::Optimize(
     if (name == "cache" &&
         (report.cache.feasible || !report.cache.candidates.empty())) {
       result.cache = report.cache;
+    }
+    if (name == "cache_tiers" && (report.tiered_cache.feasible ||
+                                  !report.tiered_cache.candidates.empty())) {
+      result.tiered_cache = report.tiered_cache;
+    }
+    if (name == "shard_sources" && report.shard_count > 0) {
+      result.shard_count = report.shard_count;
     }
     result.log.push_back(report.pass + ": " + report.summary);
     result.pass_reports.push_back(std::move(report));

@@ -86,6 +86,8 @@ struct OptimizeResult {
   LpPlan plan;                 // last parallelism pass's LP plan
   CacheDecision cache;         // last cache pass's decision
   PrefetchDecision prefetch;   // last prefetch pass's decision
+  TieredCacheDecision tiered_cache;  // last cache_tiers pass's decision
+  int shard_count = 0;         // shard_sources pass (0 = unsharded)
   double traced_rate = 0;      // observed rate in the final trace
   // One report per scheduled pass, in execution order: what each pass
   // decided and whether it rewrote the graph.

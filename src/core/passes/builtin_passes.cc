@@ -45,7 +45,9 @@ StatusOr<PassReport> PrefetchPass::Run(OptimizationContext& ctx) const {
 StatusOr<PassReport> CachePass::Run(OptimizationContext& ctx) const {
   PassReport report;
   report.pass = name();
-  if (rewriter::HasOp(ctx.graph(), "cache")) {
+  // HasCacheOp matches caches of any tier, so "cache,cache_tiers" (in
+  // either order) can never double-insert.
+  if (rewriter::HasCacheOp(ctx.graph())) {
     report.summary = "cache already present; skipped";
     return report;
   }
@@ -157,6 +159,113 @@ StatusOr<PassReport> BatchSizePass::Run(OptimizationContext& ctx) const {
   report.engine_batch_size = batch;
   report.summary =
       "engine batch " + std::to_string(batch) + " (" + stage.str() + ")";
+  return report;
+}
+
+StatusOr<PassReport> CachePlacementPass::Run(OptimizationContext& ctx) const {
+  PassReport report;
+  report.pass = name();
+  if (rewriter::HasCacheOp(ctx.graph())) {
+    report.summary = "cache already present; skipped";
+    return report;
+  }
+  ASSIGN_OR_RETURN(const PipelineModel* model, ctx.LatestModel());
+  report.traced_rate = model->observed_rate();
+  const MachineSpec& machine = ctx.options().machine;
+  TieredCachePlanOptions topts;
+  topts.memory_bytes = machine.memory_bytes;
+  topts.disk_free_bytes = machine.scratch_bytes;
+  topts.disk_read_bandwidth = machine.scratch.max_bandwidth;
+  report.tiered_cache =
+      PlanCacheTiered(*model, topts, ctx.options().lp_options);
+  if (!report.tiered_cache.feasible) {
+    report.summary = machine.scratch_bytes > 0
+                         ? "no materialization fits memory, and the scratch "
+                           "tier cannot hold or serve one; skipped"
+                         : "no cacheable materialization fits in memory "
+                           "(no scratch tier configured); skipped";
+    return report;
+  }
+  RETURN_IF_ERROR(rewriter::InjectCache(&ctx.graph(),
+                                        report.tiered_cache.node,
+                                        report.tiered_cache.tier)
+                      .status());
+  ctx.MarkGraphChanged();
+  report.changed = true;
+  std::ostringstream os;
+  os << "cache (" << CacheTierName(report.tiered_cache.tier) << ") after "
+     << report.tiered_cache.node << " ("
+     << static_cast<uint64_t>(report.tiered_cache.materialized_bytes)
+     << " bytes)";
+  if (report.tiered_cache.tier == CacheTier::kDisk) {
+    os << " serve_rate=" << report.tiered_cache.disk_serve_rate;
+  }
+  report.summary = os.str();
+  return report;
+}
+
+StatusOr<PassReport> ShardSourcesPass::Run(OptimizationContext& ctx) const {
+  PassReport report;
+  report.pass = name();
+  if (rewriter::HasOp(ctx.graph(), "shard_merge")) {
+    report.summary = "source already sharded; skipped";
+    return report;
+  }
+  if (ctx.options().lp_options.disk_bandwidth <= 0) {
+    report.summary = "no modeled disk bandwidth; skipped";
+    return report;
+  }
+  ASSIGN_OR_RETURN(const PipelineModel* model, ctx.LatestModel());
+  report.traced_rate = model->observed_rate();
+  const LpPlan plan = PlanAllocation(*model, ctx.options().lp_options);
+  report.plan = plan;
+  if (!plan.disk_limited || plan.disk_bound_rate <= 0) {
+    report.summary = "pipeline is not disk-limited; skipped";
+    return report;
+  }
+
+  // The shardable source: a record reader over a file_list child.
+  std::string reader;
+  std::string prefix;
+  for (const NodeDef& node : ctx.graph().nodes()) {
+    if (node.op != "tfrecord" && node.op != "interleave") continue;
+    if (node.inputs.size() != 1) continue;
+    const NodeDef* child = ctx.graph().FindNode(node.inputs[0]);
+    if (child == nullptr || child->op != "file_list") continue;
+    reader = node.name;
+    prefix = child->GetString(kAttrPrefix);
+    break;
+  }
+  if (reader.empty()) {
+    report.summary = "no file-backed source reader; skipped";
+    return report;
+  }
+  // Round-robin partitioning caps useful shards at the file count: a
+  // shard with no files is a worker thread spinning on an empty list.
+  int num_files = kMaxShards;
+  if (ctx.options().fs != nullptr) {
+    num_files = static_cast<int>(ctx.options().fs->List(prefix).size());
+  }
+  if (num_files < 2) {
+    report.summary = "fewer than 2 source files; cannot shard";
+    return report;
+  }
+  // Smallest N whose combined disk bound clears the CPU-bound rate.
+  const int want = static_cast<int>(
+      std::ceil(plan.cpu_bound_rate / plan.disk_bound_rate));
+  const int shards =
+      std::min({std::max(2, want), kMaxShards, num_files});
+
+  ASSIGN_OR_RETURN(const std::string merge,
+                   rewriter::ShardSource(&ctx.graph(), reader, shards));
+  ctx.MarkGraphChanged();
+  report.changed = true;
+  report.shard_count = shards;
+  std::ostringstream os;
+  os << shards << " shards of " << reader << " (disk bound "
+     << plan.disk_bound_rate << " vs cpu bound " << plan.cpu_bound_rate
+     << ") merged at " << merge;
+  report.summary = os.str();
   return report;
 }
 

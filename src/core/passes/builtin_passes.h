@@ -62,4 +62,44 @@ class BatchSizePass : public OptimizerPass {
   StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
 };
 
+// "cache_tiers": tier-aware cache placement (paper §4.1 "Extensions").
+// Dispatches the CachePass decision across storage tiers via
+// PlanCacheTiered: in-memory placement when the materialization fits
+// the machine's memory budget (then the rewrite is bit-identical to
+// CachePass), disk placement onto the machine's modeled scratch device
+// when memory is too small but the scratch tier has the capacity AND
+// the bandwidth to serve the materialization at least as fast as the
+// uncached pipeline would run. Skips graphs that already contain a
+// cache of either tier. Not in the default schedule; opt in via
+// "...,cache_tiers".
+class CachePlacementPass : public OptimizerPass {
+ public:
+  const char* name() const override { return "cache_tiers"; }
+  // Same reason as CachePass: a cache frees the cached-away subtree's
+  // cores; a re-solve redistributes them.
+  const char* followup() const override { return "parallelism"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
+// "shard_sources": splits a disk-bound pipeline's file source into N
+// shard sources merged by a shard_merge op (rewriter::ShardSource).
+// Each shard reads its round-robin partition of the file list against
+// its own modeled device (ShardDevicePool), so aggregate source
+// bandwidth scales by N. N is solved from the trace: the smallest
+// shard count whose combined disk bound clears the CPU-bound rate,
+// ceil(cpu_bound_rate / disk_bound_rate), clamped to [2, min(kMaxShards,
+// num source files)]. No-op unless the LP says the pipeline is
+// disk-limited. Not in the default schedule; opt in via
+// "...,shard_sources".
+class ShardSourcesPass : public OptimizerPass {
+ public:
+  static constexpr int kMaxShards = 8;
+
+  const char* name() const override { return "shard_sources"; }
+  // Sharding shifts the bottleneck from the disk back to the CPU
+  // stages; a re-solve retunes their parallelism for the new rate.
+  const char* followup() const override { return "parallelism"; }
+  StatusOr<PassReport> Run(OptimizationContext& ctx) const override;
+};
+
 }  // namespace plumber

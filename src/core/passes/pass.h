@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/cache_tiers.h"
 #include "src/core/model.h"
 #include "src/core/planner.h"
 #include "src/core/tracer.h"
@@ -41,6 +42,8 @@ struct PassReport {
   PrefetchDecision prefetch;   // PrefetchPass
   CacheDecision cache;         // CachePass
   int engine_batch_size = 0;   // BatchSizePass (0 = left untouched)
+  TieredCacheDecision tiered_cache;  // CachePlacementPass
+  int shard_count = 0;         // ShardSourcesPass (0 = not sharded)
 };
 
 // The state a pass schedule threads through its passes: the current

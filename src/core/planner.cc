@@ -152,14 +152,21 @@ LpPlan PlanAllocation(const PipelineModel& model,
   return plan;
 }
 
+void ForEachCacheCandidate(const PipelineModel& model,
+                           const std::function<void(const NodeModel&)>& fn) {
+  for (const auto& node : model.nodes()) {
+    if (!node.cacheable || node.materialized_bytes < 0) continue;
+    fn(node);
+  }
+}
+
 CacheDecision PlanCache(const PipelineModel& model,
                         const CachePlanOptions& options) {
   CacheDecision decision;
   const double budget = options.memory_bytes * options.safety_factor;
-  // nodes() is root-first, so the first fitting candidate is the one
-  // closest to the root (greedy-optimal on chains).
-  for (const auto& node : model.nodes()) {
-    if (!node.cacheable || node.materialized_bytes < 0) continue;
+  // Candidates come root-first, so the first fitting one is closest to
+  // the root (greedy-optimal on chains).
+  ForEachCacheCandidate(model, [&](const NodeModel& node) {
     CacheCandidate candidate;
     candidate.node = node.name;
     candidate.materialized_bytes = node.materialized_bytes;
@@ -170,7 +177,7 @@ CacheDecision PlanCache(const PipelineModel& model,
       decision.node = node.name;
       decision.materialized_bytes = node.materialized_bytes;
     }
-  }
+  });
   return decision;
 }
 
@@ -213,14 +220,13 @@ CacheDecision PlanCacheByEnumeration(const PipelineModel& model,
   const double budget =
       cache_options.memory_bytes * cache_options.safety_factor;
   double best_rate = -1;
-  for (const auto& node : model.nodes()) {
-    if (!node.cacheable || node.materialized_bytes < 0) continue;
+  ForEachCacheCandidate(model, [&](const NodeModel& node) {
     CacheCandidate candidate;
     candidate.node = node.name;
     candidate.materialized_bytes = node.materialized_bytes;
     candidate.fits = node.materialized_bytes <= budget;
     decision.candidates.push_back(candidate);
-    if (!candidate.fits) continue;
+    if (!candidate.fits) return;
     const double rate =
         PredictedRateWithCacheAt(model, node.name, lp_options);
     if (rate > best_rate) {
@@ -229,7 +235,7 @@ CacheDecision PlanCacheByEnumeration(const PipelineModel& model,
       decision.node = node.name;
       decision.materialized_bytes = node.materialized_bytes;
     }
-  }
+  });
   return decision;
 }
 

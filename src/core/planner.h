@@ -2,6 +2,7 @@
 // (paper §4.3 "Allocating Hardware Resources" and §4.1 "Optimizer").
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -64,6 +65,14 @@ struct CacheDecision {
   double materialized_bytes = 0;
   std::vector<CacheCandidate> candidates;  // root-first, for reporting
 };
+
+// Invokes `fn` for every cache candidate — a cacheable node with a
+// traced materialized size — in model order (root-first, so the first
+// fitting candidate is the one closest to the root). The single
+// enumeration shared by PlanCache, PlanCacheByEnumeration, and
+// PlanCacheTiered: what counts as a candidate is decided once, here.
+void ForEachCacheCandidate(const PipelineModel& model,
+                           const std::function<void(const NodeModel&)>& fn);
 
 // Greedy-optimal for linear pipelines: pick the cacheable node closest
 // to the root whose materialization fits in memory (§4.3 "Memory").

@@ -1,6 +1,8 @@
 #include "src/core/rewriter.h"
 
 #include <algorithm>
+#include <set>
+#include <string>
 
 #include "src/pipeline/ops.h"
 
@@ -65,6 +67,147 @@ StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after) {
   node.op = "cache";
   RETURN_IF_ERROR(graph->InsertAfter(after, node));
   return node.name;
+}
+
+StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after,
+                                  CacheTier tier) {
+  if (tier == CacheTier::kNone) {
+    return InvalidArgumentError("cache tier must be memory or disk");
+  }
+  if (tier == CacheTier::kMemory) {
+    // No tier attr: the memory-tier rewrite is bit-identical to the
+    // untiered overload (and to legacy CachePass output).
+    return InjectCache(graph, after);
+  }
+  NodeDef node;
+  node.name = graph->UniqueName(after + "_cache");
+  node.op = "cache";
+  node.attrs[kAttrCacheTier] = AttrValue("disk");
+  RETURN_IF_ERROR(graph->InsertAfter(after, node));
+  return node.name;
+}
+
+bool HasCacheOp(const GraphDef& graph) { return HasOp(graph, "cache"); }
+
+StatusOr<std::string> ShardSource(GraphDef* graph, const std::string& reader,
+                                  int shards) {
+  if (shards < 2) return InvalidArgumentError("shard count must be >= 2");
+  const NodeDef* reader_def = graph->FindNode(reader);
+  if (reader_def == nullptr) return NotFoundError("no such node: " + reader);
+  if ((reader_def->op != "tfrecord" && reader_def->op != "interleave") ||
+      reader_def->inputs.size() != 1) {
+    return FailedPreconditionError(reader +
+                                   " is not a file-backed source reader");
+  }
+  const NodeDef* list_def = graph->FindNode(reader_def->inputs[0]);
+  if (list_def == nullptr || list_def->op != "file_list") {
+    return FailedPreconditionError(reader + " does not read from a file_list");
+  }
+  if (reader_def->HasAttr(kAttrShardCount) ||
+      list_def->HasAttr(kAttrShardCount)) {
+    return FailedPreconditionError(reader + " is already sharded");
+  }
+  // Copy before mutating: AddNode may reallocate the node vector.
+  const NodeDef reader_copy = *reader_def;
+  const NodeDef list_copy = *list_def;
+
+  std::vector<std::string> shard_readers;
+  for (int i = 0; i < shards; ++i) {
+    NodeDef list_shard = list_copy;
+    list_shard.name =
+        graph->UniqueName(list_copy.name + "_shard" + std::to_string(i));
+    list_shard.attrs[kAttrShardIndex] = AttrValue(i);
+    list_shard.attrs[kAttrShardCount] = AttrValue(shards);
+    RETURN_IF_ERROR(graph->AddNode(list_shard));
+
+    NodeDef reader_shard = reader_copy;
+    reader_shard.name =
+        graph->UniqueName(reader_copy.name + "_shard" + std::to_string(i));
+    reader_shard.inputs = {list_shard.name};
+    reader_shard.attrs[kAttrShardIndex] = AttrValue(i);
+    reader_shard.attrs[kAttrShardCount] = AttrValue(shards);
+    RETURN_IF_ERROR(graph->AddNode(reader_shard));
+    shard_readers.push_back(reader_shard.name);
+  }
+
+  NodeDef merge;
+  merge.name = graph->UniqueName(reader + "_merge");
+  merge.op = "shard_merge";
+  merge.inputs = shard_readers;
+  RETURN_IF_ERROR(graph->AddNode(merge));
+
+  for (const std::string& consumer : graph->Consumers(reader)) {
+    NodeDef* def = graph->MutableNode(consumer);
+    for (std::string& input : def->inputs) {
+      if (input == reader) input = merge.name;
+    }
+  }
+  if (graph->output() == reader) graph->SetOutput(merge.name);
+
+  // The original reader and its file_list are orphans now; RemoveNode
+  // only handles single-input pass-throughs, so erase them directly.
+  auto& nodes = graph->mutable_nodes();
+  nodes.erase(std::remove_if(nodes.begin(), nodes.end(),
+                             [&](const NodeDef& n) {
+                               return n.name == reader ||
+                                      n.name == list_copy.name;
+                             }),
+              nodes.end());
+  RETURN_IF_ERROR(graph->Validate());
+  return merge.name;
+}
+
+int GraphShardIndex(const GraphDef& graph) {
+  int index = -1;
+  for (const auto& node : graph.nodes()) {
+    if (!node.HasAttr(kAttrShardIndex)) continue;
+    const int shard = static_cast<int>(node.GetInt(kAttrShardIndex, -1));
+    if (shard < 0) continue;
+    if (index >= 0 && shard != index) return -1;  // multi-shard graph
+    index = shard;
+  }
+  return index;
+}
+
+StatusOr<GraphDef> ExtractShard(const GraphDef& graph, int shard) {
+  const NodeDef* merge = nullptr;
+  for (const auto& node : graph.nodes()) {
+    if (node.op != "shard_merge") continue;
+    if (merge != nullptr) {
+      return FailedPreconditionError("multiple shard_merge nodes");
+    }
+    merge = &node;
+  }
+  if (merge == nullptr) {
+    return FailedPreconditionError("graph has no shard_merge node");
+  }
+  std::string kept;
+  std::set<std::string> dropped = {merge->name};
+  for (const std::string& input : merge->inputs) {
+    const NodeDef* reader = graph.FindNode(input);
+    if (reader == nullptr) return NotFoundError("no such node: " + input);
+    if (static_cast<int>(reader->GetInt(kAttrShardIndex, -1)) == shard) {
+      kept = reader->name;
+      continue;
+    }
+    dropped.insert(reader->name);
+    for (const std::string& child : reader->inputs) dropped.insert(child);
+  }
+  if (kept.empty()) {
+    return NotFoundError("no shard with index " + std::to_string(shard));
+  }
+  GraphDef out;
+  for (const auto& node : graph.nodes()) {
+    if (dropped.count(node.name) > 0) continue;
+    NodeDef copy = node;
+    for (std::string& input : copy.inputs) {
+      if (input == merge->name) input = kept;
+    }
+    RETURN_IF_ERROR(out.AddNode(std::move(copy)));
+  }
+  out.SetOutput(graph.output() == merge->name ? kept : graph.output());
+  RETURN_IF_ERROR(out.Validate());
+  return out;
 }
 
 Status EnsureRootPrefetch(GraphDef* graph, int buffer) {

@@ -7,6 +7,7 @@
 // drop-in replacement for the original.
 #pragma once
 
+#include "src/core/cache_tiers.h"
 #include "src/core/planner.h"
 #include "src/pipeline/graph_def.h"
 
@@ -30,6 +31,42 @@ StatusOr<std::string> InjectPrefetch(GraphDef* graph,
 
 // Inserts a cache node after `after`. Returns the new node's name.
 StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after);
+
+// Tier-aware variant. kMemory emits a node identical to the overload
+// above (no tier attr), so a memory-tier placement is bit-identical to
+// the legacy CachePass rewrite; kDisk stamps kAttrCacheTier = "disk",
+// which the execution layer serves through the machine's modeled
+// scratch device. kNone is an error.
+StatusOr<std::string> InjectCache(GraphDef* graph, const std::string& after,
+                                  CacheTier tier);
+
+// True if any cache node exists, regardless of tier. Passes that skip
+// already-cached graphs must use this (not an op+attr match) so a
+// disk-tier cache blocks a second memory-tier insertion and vice versa.
+bool HasCacheOp(const GraphDef& graph);
+
+// Splits the source subtree feeding `reader` (a tfrecord/interleave
+// node over a file_list child) into `shards` clones, each stamped with
+// kAttrShardIndex/kAttrShardCount so (a) its file_list keeps only its
+// round-robin partition of the file list and (b) the execution layer
+// reads it against its own modeled shard device (ShardDevicePool).
+// The clones feed a new "shard_merge" node that replaces `reader` for
+// all consumers (and the graph output). Returns the merge node's name.
+StatusOr<std::string> ShardSource(GraphDef* graph, const std::string& reader,
+                                  int shards);
+
+// The unique kAttrShardIndex stamped across the graph's nodes — e.g.
+// on a per-shard subgraph cut out by ExtractShard — or -1 when the
+// graph is unsharded or holds several shards (a full ShardSource
+// rewrite). FleetSession uses this to pin single-shard jobs to hosts.
+int GraphShardIndex(const GraphDef& graph);
+
+// Cuts the per-shard subgraph for `shard` out of a graph rewritten by
+// ShardSource: keeps that shard's source chain, drops the shard_merge
+// and the other shards, and rewires the merge's consumers to the kept
+// reader. The result is a complete single-shard program a fleet host
+// can run alone; GraphShardIndex on it returns `shard`.
+StatusOr<GraphDef> ExtractShard(const GraphDef& graph, int shard);
 
 // Ensures the graph root is a prefetch (injects one if missing).
 Status EnsureRootPrefetch(GraphDef* graph, int buffer);

@@ -114,10 +114,15 @@ std::vector<std::string> SimFilesystem::List(const std::string& prefix) const {
 
 StatusOr<std::unique_ptr<RecordReader>> SimFilesystem::OpenRecord(
     const std::string& name) {
+  return OpenRecord(name, device_);
+}
+
+StatusOr<std::unique_ptr<RecordReader>> SimFilesystem::OpenRecord(
+    const std::string& name, StorageDevice* device) {
   const SimFileMeta* meta = FindMeta(name);
   if (meta == nullptr) return NotFoundError("no such file: " + name);
   std::unique_ptr<ReadStream> stream;
-  if (device_ != nullptr) stream = device_->OpenStream();
+  if (device != nullptr) stream = device->OpenStream();
   return std::make_unique<RecordReader>(meta, this, std::move(stream));
 }
 

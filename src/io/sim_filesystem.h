@@ -103,6 +103,11 @@ class SimFilesystem {
   std::vector<std::string> List(const std::string& prefix) const;
 
   StatusOr<std::unique_ptr<RecordReader>> OpenRecord(const std::string& name);
+  // Opens a reader charged against `device` instead of the
+  // filesystem's attached device (nullptr = unmetered). Sharded
+  // sources use this to meter each shard against its own modeled disk.
+  StatusOr<std::unique_ptr<RecordReader>> OpenRecord(const std::string& name,
+                                                     StorageDevice* device);
   StatusOr<std::unique_ptr<RawReader>> OpenRaw(const std::string& name);
 
   StorageDevice* device() const { return device_; }

@@ -74,6 +74,20 @@ void StorageDevice::ResetCounters() {
   total_reads_.store(0, std::memory_order_relaxed);
 }
 
+StorageDevice* ShardDevicePool::DeviceFor(int index) {
+  if (index < 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (devices_.size() <= static_cast<size_t>(index)) {
+    devices_.push_back(std::make_unique<StorageDevice>(spec_));
+  }
+  return devices_[static_cast<size_t>(index)].get();
+}
+
+int ShardDevicePool::num_devices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(devices_.size());
+}
+
 void StorageDevice::Charge(uint64_t bytes) {
   if (spec_.read_latency_s > 0) {
     BlockedRegion blocked;

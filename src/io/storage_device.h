@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/io/token_bucket.h"
 
@@ -74,6 +76,26 @@ class StorageDevice {
   TokenBucket global_bucket_;
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_reads_{0};
+};
+
+// A lazily grown set of identical modeled devices, one per source
+// shard: the ShardSourcesPass splits a source across N disks, and each
+// shard must meter its reads against its *own* bandwidth cap (that is
+// the whole point — N shards reach N x the single-device bandwidth).
+// Thread-safe; devices live as long as the pool.
+class ShardDevicePool {
+ public:
+  explicit ShardDevicePool(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  // The device for shard `index` (>= 0), created on first use.
+  StorageDevice* DeviceFor(int index);
+
+  int num_devices() const;
+
+ private:
+  const DeviceSpec spec_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<StorageDevice>> devices_;
 };
 
 }  // namespace plumber

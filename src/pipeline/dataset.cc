@@ -54,6 +54,13 @@ Status IteratorBase::GetNextBatchInternal(std::vector<Element>* out,
   return OkStatus();
 }
 
+StorageDevice* ShardDeviceFor(const NodeDef& def, PipelineContext* ctx) {
+  if (ctx == nullptr || ctx->shard_devices == nullptr) return nullptr;
+  const int shard = static_cast<int>(def.GetInt(kAttrShardIndex, -1));
+  if (shard < 0) return nullptr;
+  return ctx->shard_devices->DeviceFor(shard);
+}
+
 bool OpSupportsParallelism(const std::string& op) {
   return op == "map" || op == "interleave" || op == "map_and_batch";
 }
@@ -92,6 +99,7 @@ StatusOr<DatasetPtr> InstantiateGraph(const GraphDef& graph,
       {"zip", &MakeZipDataset},
       {"concatenate", &MakeConcatenateDataset},
       {"map_and_batch", &MakeMapAndBatchDataset},
+      {"shard_merge", &MakeShardMergeDataset},
   };
   ASSIGN_OR_RETURN(std::vector<std::string> order, graph.TopologicalOrder());
   std::map<std::string, DatasetPtr> built;

@@ -43,6 +43,17 @@ struct PipelineContext {
   // 0 = unlimited. Cache datasets fail with ResourceExhausted if
   // materialization would exceed this.
   uint64_t memory_budget_bytes = 0;
+  // Disk-tier cache scratch: serve-path reads of a disk-tier cache
+  // (kAttrCacheTier = "disk") are charged against this device's token
+  // bucket at the modeled SSD bandwidth. Null = disk caches run
+  // unmetered (and un-budgeted when scratch_budget_bytes = 0).
+  StorageDevice* scratch_device = nullptr;
+  uint64_t scratch_budget_bytes = 0;
+  // Per-shard source devices: readers under a shard-stamped source
+  // (kAttrShardIndex) open their record streams against
+  // shard_devices->DeviceFor(shard) so every shard gets its own
+  // modeled disk. Null = all reads go through fs->device().
+  ShardDevicePool* shard_devices = nullptr;
   // Engine batch size: how many elements parallel operators claim from
   // their input and hand off through their queues per lock acquisition.
   // 1 (the default) is element-at-a-time execution, identical to the

@@ -53,10 +53,12 @@ class SequentialInterleaveIterator : public IteratorBase {
  public:
   SequentialInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
                                std::unique_ptr<IteratorBase> input,
-                               int cycle_length, int block_length)
+                               int cycle_length, int block_length,
+                               StorageDevice* shard_device)
       : IteratorBase(ctx, stats), input_(std::move(input)),
         cycle_length_(cycle_length < 1 ? 1 : cycle_length),
-        block_length_(block_length < 1 ? 1 : block_length) {}
+        block_length_(block_length < 1 ? 1 : block_length),
+        shard_device_(shard_device) {}
 
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
@@ -71,8 +73,11 @@ class SequentialInterleaveIterator : public IteratorBase {
           files_done_ = true;
           break;
         }
-        ASSIGN_OR_RETURN(auto reader, ctx_->fs->OpenRecord(name));
-        cycle_.push_back(Slot{std::move(reader), 0});
+        auto reader_or = shard_device_ != nullptr
+                             ? ctx_->fs->OpenRecord(name, shard_device_)
+                             : ctx_->fs->OpenRecord(name);
+        RETURN_IF_ERROR(reader_or.status());
+        cycle_.push_back(Slot{std::move(reader_or).value(), 0});
       }
       if (cycle_.empty()) {
         *end = true;
@@ -111,6 +116,7 @@ class SequentialInterleaveIterator : public IteratorBase {
   std::unique_ptr<IteratorBase> input_;
   const int cycle_length_;
   const int block_length_;
+  StorageDevice* shard_device_;  // null = the filesystem's device
   std::vector<Slot> cycle_;
   size_t cursor_ = 0;
   bool files_done_ = false;
@@ -126,9 +132,9 @@ class ParallelInterleaveIterator : public IteratorBase {
  public:
   ParallelInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
                              std::unique_ptr<IteratorBase> input,
-                             int parallelism)
+                             int parallelism, StorageDevice* shard_device)
       : IteratorBase(ctx, stats), input_(std::move(input)),
-        parallelism_(parallelism),
+        parallelism_(parallelism), shard_device_(shard_device),
         // Fixed reader pool (never governor-retargeted); parallel mode
         // implies >= 2 readers, so the factory keeps this edge MPMC.
         // Capacity absorbs at least two engine batches so a requested
@@ -216,7 +222,9 @@ class ParallelInterleaveIterator : public IteratorBase {
         break;
       }
       if (done) break;
-      auto reader_or = ctx_->fs->OpenRecord(name);
+      auto reader_or = shard_device_ != nullptr
+                           ? ctx_->fs->OpenRecord(name, shard_device_)
+                           : ctx_->fs->OpenRecord(name);
       if (!reader_or.ok()) {
         pending.push_back(Item{{}, reader_or.status(), false});
         flush();
@@ -267,6 +275,7 @@ class ParallelInterleaveIterator : public IteratorBase {
 
   std::unique_ptr<IteratorBase> input_;
   const int parallelism_;
+  StorageDevice* shard_device_;  // null = the filesystem's device
 
   std::mutex input_mu_;
   bool files_done_ = false;
@@ -285,14 +294,21 @@ StatusOr<std::unique_ptr<IteratorBase>> InterleaveDataset::MakeIterator(
     PipelineContext* ctx) const {
   ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
   IteratorStats* stats = StatsFor(ctx);
+  // A shard-stamped interleave (or one whose file_list child carries
+  // the stamp) reads through its own modeled shard disk.
+  StorageDevice* shard_device = ShardDeviceFor(def_, ctx);
+  if (shard_device == nullptr && !inputs_.empty()) {
+    shard_device = ShardDeviceFor(inputs_[0]->def(), ctx);
+  }
   const int p = parallelism();
   if (p <= 1) {
     stats->SetParallelism(1);
     return std::unique_ptr<IteratorBase>(new SequentialInterleaveIterator(
-        ctx, stats, std::move(input), cycle_length(), block_length()));
+        ctx, stats, std::move(input), cycle_length(), block_length(),
+        shard_device));
   }
-  return std::unique_ptr<IteratorBase>(
-      new ParallelInterleaveIterator(ctx, stats, std::move(input), p));
+  return std::unique_ptr<IteratorBase>(new ParallelInterleaveIterator(
+      ctx, stats, std::move(input), p, shard_device));
 }
 
 }  // namespace

@@ -16,12 +16,19 @@
 //   skip               input; count:int
 //   batch              input; batch_size:int, drop_remainder:bool
 //   prefetch           input; buffer_size:int
-//   cache              input; (bounded by PipelineContext memory budget)
+//   cache              input; cache_tier:string ("memory" default |
+//                      "disk"). Memory caches are bounded by the
+//                      PipelineContext memory budget; disk caches by
+//                      scratch_budget_bytes, and their serve path is
+//                      metered through the modeled scratch device.
 //   zip                2+ inputs; pairs one element from each per output
 //   concatenate        2+ inputs; drains them in order
 //   map_and_batch      input; udf:string, parallelism:int,
 //                      batch_size:int, drop_remainder:bool — fused
 //                      parallel map + batch (one handoff per batch)
+//   shard_merge        N inputs (one per source shard); merges them
+//                      with one worker per shard, order nondeterministic
+//                      (like parallel interleave)
 #pragma once
 
 #include "src/pipeline/dataset.h"
@@ -83,6 +90,9 @@ StatusOr<DatasetPtr> MakeConcatenateDataset(NodeDef def,
 StatusOr<DatasetPtr> MakeMapAndBatchDataset(NodeDef def,
                                             std::vector<DatasetPtr> inputs,
                                             PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeShardMergeDataset(NodeDef def,
+                                           std::vector<DatasetPtr> inputs,
+                                           PipelineContext* ctx);
 
 // Well-known attribute keys shared by the rewriter and the tuners.
 inline constexpr char kAttrParallelism[] = "parallelism";
@@ -110,6 +120,22 @@ inline constexpr char kAttrEngineBatchSize[] = "engine_batch_size";
 // measured rates over its uniform-rate fallback, so unequal-demand
 // jobs get unequal water-fill shares (see src/core/multi_job_planner).
 inline constexpr char kAttrTracedRate[] = "traced_rate";
+// Cache placement tier chosen by CachePlacementPass: absent or
+// "memory" = DRAM materialization (the classic cache op), "disk" =
+// materialize to the scratch tier and meter serves at its bandwidth.
+inline constexpr char kAttrCacheTier[] = "cache_tier";
+// Shard identity stamped by rewriter::ShardSource: which partition of
+// the file list this source reads (i of shard_count, files taken
+// round-robin), and how many partitions exist. FleetSession derives a
+// locality pin from shard_index; readers under a sharded source meter
+// against shard_devices->DeviceFor(shard_index).
+inline constexpr char kAttrShardIndex[] = "shard_index";
+inline constexpr char kAttrShardCount[] = "shard_count";
+
+// The per-shard storage device a reader under `def` should charge, or
+// null to use the filesystem's attached device (unsharded sources, or
+// no shard pool in the context).
+StorageDevice* ShardDeviceFor(const NodeDef& def, PipelineContext* ctx);
 
 // True if the op kind supports a tunable `parallelism` attribute.
 bool OpSupportsParallelism(const std::string& op);

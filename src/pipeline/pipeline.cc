@@ -25,6 +25,22 @@ Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
   if (batch <= 0) batch = GraphEngineBatchSize(graph_);
   ctx_.engine_batch_size = std::max(1, batch);
   ctx_.governor = options.governor;
+  // Disk-tier scratch: only model the device when the tier is enabled
+  // (a capacity and a bandwidth); disk caches degrade to unmetered
+  // otherwise.
+  if (options.scratch_budget_bytes > 0 && options.scratch.max_bandwidth > 0) {
+    scratch_device_ = std::make_unique<StorageDevice>(options.scratch);
+    ctx_.scratch_device = scratch_device_.get();
+  }
+  ctx_.scratch_budget_bytes = options.scratch_budget_bytes;
+  // Per-shard source disks, cloned from the filesystem's attached
+  // device: a shard-split source reads each partition at the full
+  // modeled device bandwidth (that is what sharding across disks buys).
+  if (ctx_.fs != nullptr && ctx_.fs->device() != nullptr) {
+    shard_devices_ =
+        std::make_unique<ShardDevicePool>(ctx_.fs->device()->spec());
+    ctx_.shard_devices = shard_devices_.get();
+  }
 }
 
 StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(

@@ -32,6 +32,12 @@ struct PipelineOptions {
   // Live parallelism control for multi-tenant execution (see
   // PipelineContext::governor). Null = fixed worker counts.
   GovernorPtr governor;
+  // Local scratch tier for disk-tier caches: when scratch_budget_bytes
+  // > 0 and scratch.max_bandwidth > 0 the pipeline owns a
+  // StorageDevice with this spec and disk-tier cache serves are
+  // metered through it (see PipelineContext::scratch_device).
+  DeviceSpec scratch = DeviceSpec::Unlimited();
+  uint64_t scratch_budget_bytes = 0;
 };
 
 class Pipeline {
@@ -58,6 +64,12 @@ class Pipeline {
 
   GraphDef graph_;
   StatsRegistry stats_;
+  // Owned modeled devices referenced by ctx_: the disk-cache scratch
+  // tier and the per-shard source disks (cloned from the filesystem's
+  // attached device spec). Declared before ctx_ users would need them;
+  // destroyed after all iterators (callers drop iterators first).
+  std::unique_ptr<StorageDevice> scratch_device_;
+  std::unique_ptr<ShardDevicePool> shard_devices_;
   PipelineContext ctx_;
   DatasetPtr root_;
 };

@@ -199,10 +199,16 @@ StatusOr<std::unique_ptr<IteratorBase>> PrefetchDataset::MakeIterator(
 }
 
 // ------------------------------------------------------------------ cache
-// In-memory materialization. The cache lives on the Dataset (not the
-// iterator) so it persists across epochs: the first complete pass fills
-// it, later iterators serve from memory, eliminating all upstream work
-// (the steady state Plumber's cache planner reasons about).
+// Materialization, in memory or on the scratch disk tier. The cache
+// lives on the Dataset (not the iterator) so it persists across
+// epochs: the first complete pass fills it, later iterators serve from
+// the materialization, eliminating all upstream work (the steady state
+// Plumber's cache planner reasons about). A disk-tier cache
+// (kAttrCacheTier = "disk") differs in two ways: its capacity check is
+// against the scratch budget rather than the DRAM budget, and every
+// serve-path read is charged through the modeled scratch
+// StorageDevice, so a warm disk cache delivers at SSD bandwidth — the
+// economics PlanCacheTiered decides by.
 class CacheDataset : public DatasetBase {
  public:
   CacheDataset(NodeDef def, std::vector<DatasetPtr> inputs)
@@ -237,9 +243,10 @@ class CacheDataset : public DatasetBase {
 class CacheIterator : public IteratorBase {
  public:
   CacheIterator(PipelineContext* ctx, IteratorStats* stats,
-                const DatasetBase* input_dataset, CacheDataset::State* state)
+                const DatasetBase* input_dataset, CacheDataset::State* state,
+                bool disk_tier)
       : IteratorBase(ctx, stats), input_dataset_(input_dataset),
-        state_(state) {
+        state_(state), disk_tier_(disk_tier) {
     std::lock_guard<std::mutex> lock(state_->mu);
     serving_ = state_->complete;
   }
@@ -247,15 +254,26 @@ class CacheIterator : public IteratorBase {
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
     if (serving_) {
-      std::lock_guard<std::mutex> lock(state_->mu);
-      if (serve_index_ >= state_->elements.size()) {
-        *end = true;
-        return OkStatus();
+      {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        if (serve_index_ >= state_->elements.size()) {
+          *end = true;
+          return OkStatus();
+        }
+        // Clone is semantically required here (and at materialization
+        // below): the cache keeps its elements across epochs while the
+        // consumer takes ownership of what it is handed.
+        *out = state_->elements[serve_index_++].Clone();
       }
-      // Clone is semantically required here (and at materialization
-      // below): the cache keeps its elements across epochs while the
-      // consumer takes ownership of what it is handed.
-      *out = state_->elements[serve_index_++].Clone();
+      // A disk-tier serve reads the element back from scratch: meter
+      // it against the modeled device outside the state lock so the
+      // token-bucket wait never serializes other cache iterators.
+      if (disk_tier_ && ctx_->scratch_device != nullptr) {
+        if (serve_stream_ == nullptr) {
+          serve_stream_ = ctx_->scratch_device->OpenStream();
+        }
+        serve_stream_->Charge(out->TotalBytes());
+      }
       *end = false;
       return OkStatus();
     }
@@ -276,10 +294,16 @@ class CacheIterator : public IteratorBase {
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       const uint64_t bytes = in.TotalBytes();
-      if (ctx_->memory_budget_bytes > 0 &&
-          state_->bytes + bytes > ctx_->memory_budget_bytes) {
+      // Each tier materializes against its own capacity: DRAM caches
+      // against the memory budget, disk caches against the scratch
+      // budget (a disk cache exists precisely because DRAM is full).
+      const uint64_t budget = disk_tier_ ? ctx_->scratch_budget_bytes
+                                         : ctx_->memory_budget_bytes;
+      if (budget > 0 && state_->bytes + bytes > budget) {
         return ResourceExhaustedError(
-            "cache exceeds memory budget at node " + stats_->name());
+            std::string("cache exceeds ") +
+            (disk_tier_ ? "scratch" : "memory") + " budget at node " +
+            stats_->name());
       }
       state_->elements.push_back(in.Clone());
       state_->bytes += bytes;
@@ -293,15 +317,18 @@ class CacheIterator : public IteratorBase {
  private:
   const DatasetBase* input_dataset_;
   CacheDataset::State* state_;
+  const bool disk_tier_;
   std::unique_ptr<IteratorBase> input_;
+  std::unique_ptr<ReadStream> serve_stream_;  // disk tier, lazily opened
   bool serving_ = false;
   size_t serve_index_ = 0;
 };
 
 StatusOr<std::unique_ptr<IteratorBase>> CacheDataset::MakeIterator(
     PipelineContext* ctx) const {
-  return std::unique_ptr<IteratorBase>(
-      new CacheIterator(ctx, StatsFor(ctx), inputs_[0].get(), state()));
+  const bool disk_tier = def_.GetString(kAttrCacheTier, "memory") == "disk";
+  return std::unique_ptr<IteratorBase>(new CacheIterator(
+      ctx, StatsFor(ctx), inputs_[0].get(), state(), disk_tier));
 }
 
 Status RequireOneInput(const std::vector<DatasetPtr>& inputs,

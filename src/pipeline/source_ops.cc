@@ -68,6 +68,21 @@ class FileListDataset : public DatasetBase {
   FileListDataset(NodeDef def, PipelineContext* ctx)
       : DatasetBase(std::move(def), {}) {
     files_ = ctx->fs->List(def_.GetString(kAttrPrefix));
+    // Shard-stamped lists (rewriter::ShardSource) keep only their
+    // round-robin partition; the shards' partitions are disjoint and
+    // their union is the full list, so a shard_merge over all shards
+    // reproduces exactly the unsharded element multiset.
+    const int64_t shards = def_.GetInt(kAttrShardCount, 1);
+    const int64_t index = def_.GetInt(kAttrShardIndex, 0);
+    if (shards > 1) {
+      std::vector<std::string> mine;
+      for (size_t i = 0; i < files_.size(); ++i) {
+        if (static_cast<int64_t>(i) % shards == index) {
+          mine.push_back(files_[i]);
+        }
+      }
+      files_ = std::move(mine);
+    }
   }
 
   int64_t Cardinality() const override {
@@ -150,8 +165,10 @@ class TfRecordDataset : public DatasetBase {
 class TfRecordIterator : public IteratorBase {
  public:
   TfRecordIterator(PipelineContext* ctx, IteratorStats* stats,
-                   std::unique_ptr<IteratorBase> input)
-      : IteratorBase(ctx, stats), input_(std::move(input)) {}
+                   std::unique_ptr<IteratorBase> input,
+                   StorageDevice* shard_device)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        shard_device_(shard_device) {}
 
  protected:
   Status GetNextInternal(Element* out, bool* end) override {
@@ -167,7 +184,11 @@ class TfRecordIterator : public IteratorBase {
         stats_->RecordConsumed();
         const std::string name(filename_elem.components[0].begin(),
                                filename_elem.components[0].end());
-        ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name));
+        if (shard_device_ != nullptr) {
+          ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name, shard_device_));
+        } else {
+          ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name));
+        }
       }
       // Acquire at the previous record's size: records in a file are
       // near-uniform, so ReadRecord's resize stays within capacity and
@@ -190,6 +211,7 @@ class TfRecordIterator : public IteratorBase {
 
  private:
   std::unique_ptr<IteratorBase> input_;
+  StorageDevice* shard_device_;  // null = the filesystem's device
   std::unique_ptr<RecordReader> reader_;
   uint64_t sequence_ = 0;
   size_t last_payload_bytes_ = 64;
@@ -198,8 +220,12 @@ class TfRecordIterator : public IteratorBase {
 StatusOr<std::unique_ptr<IteratorBase>> TfRecordDataset::MakeIterator(
     PipelineContext* ctx) const {
   ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
-  return std::unique_ptr<IteratorBase>(
-      new TfRecordIterator(ctx, StatsFor(ctx), std::move(input)));
+  StorageDevice* shard_device = ShardDeviceFor(def_, ctx);
+  if (shard_device == nullptr) {
+    shard_device = ShardDeviceFor(inputs_[0]->def(), ctx);
+  }
+  return std::unique_ptr<IteratorBase>(new TfRecordIterator(
+      ctx, StatsFor(ctx), std::move(input), shard_device));
 }
 
 }  // namespace

@@ -87,6 +87,75 @@ TEST(OptimizerRegressionTest, BatchSizePassNeverSlowerOnCheapUdfPipeline) {
       << " naive=" << naive_rate;
 }
 
+TEST(OptimizerRegressionTest, CachePlacementPassNeverSlowerOnDiskTier) {
+  // With DRAM too small for any materialization, CachePlacementPass
+  // falls back to the SSD scratch tier. Serving the repeat epochs from
+  // scratch skips the 200us/element map, so the placed graph must
+  // never measure slower than the misconfigured input.
+  PipelineTestEnv env(4, 200, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "cache_tiers,parallelism";
+  options.machine.memory_bytes = 1024;  // no DRAM fit
+  options.machine.scratch = DeviceSpec::NvmeSsd();
+  options.machine.scratch_bytes = 64ull << 20;
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->tiered_cache.feasible);
+  EXPECT_EQ(result->tiered_cache.tier, CacheTier::kDisk);
+  ASSERT_TRUE(rewriter::HasCacheOp(result->graph));
+
+  // Measure on a machine that actually meters the scratch tier.
+  PipelineOptions popts = env.Options();
+  popts.scratch = options.machine.scratch;
+  popts.scratch_budget_bytes = options.machine.scratch_bytes;
+  double naive_rate = 0, tuned_rate = 0;
+  EXPECT_TRUE(testing_util::EventuallyTrue([&] {
+    naive_rate = MeasureRate(env, MisconfiguredGraph());
+    auto pipeline =
+        std::move(Pipeline::Create(result->graph, popts)).value();
+    RunOptions ropts;
+    ropts.max_seconds = 0.4;
+    const RunResult run = RunPipeline(*pipeline, ropts);
+    pipeline->Cancel();
+    tuned_rate = run.batches_per_second;
+    return tuned_rate >= naive_rate;
+  })) << "disk-tier placement made the pipeline slower: tuned="
+      << tuned_rate << " naive=" << naive_rate;
+}
+
+TEST(OptimizerRegressionTest, ShardSourcesPassNeverSlowerWhenDiskBound) {
+  // A cheap-UDF pipeline behind a 50KB/s modeled disk is source-bound;
+  // ShardSourcesPass splits the reader across per-shard devices, so the
+  // aggregate bandwidth scales with the shard count and the rewritten
+  // graph must never measure slower.
+  PipelineTestEnv env(4, 200, 64);
+  StorageDevice disk(DeviceSpec::TokenBucketLimit(50e3));
+  env.fs.set_device(&disk);
+
+  GraphBuilder b;
+  auto n = b.TfRecord("reader", b.FileList("files", "data/"));
+  n = b.Map("m", n, "noop", 2);
+  const GraphDef naive = std::move(b.Build(n)).value();
+
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "shard_sources,parallelism";
+  options.lp_options.disk_bandwidth = 50e3;
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(naive);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->shard_count, 2);
+  ASSERT_TRUE(rewriter::HasOp(result->graph, "shard_merge"));
+
+  double naive_rate = 0, tuned_rate = 0;
+  EXPECT_TRUE(testing_util::EventuallyTrue([&] {
+    naive_rate = MeasureRate(env, naive);
+    tuned_rate = MeasureRate(env, result->graph);
+    return tuned_rate >= naive_rate;
+  })) << "shard_sources made the pipeline slower: tuned=" << tuned_rate
+      << " naive=" << naive_rate;
+}
+
 TEST(OptimizerRegressionTest, ParallelismPlanStaysWithinCoreBudget) {
   PipelineTestEnv env(4, 200, 64);
   PlumberOptimizer optimizer(MakeOptions(env));

@@ -8,6 +8,7 @@
 #include "src/core/optimizer.h"
 #include "src/core/passes/builtin_passes.h"
 #include "src/core/rewriter.h"
+#include "src/pipeline/ops.h"
 #include "tests/test_util.h"
 
 namespace plumber {
@@ -17,21 +18,25 @@ using testing_util::PipelineTestEnv;
 
 TEST(PassRegistryTest, BuiltinsRegisteredInCanonicalOrder) {
   const std::vector<std::string> names = PassRegistry::Global().Names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_EQ(names[0], "parallelism");
   EXPECT_EQ(names[1], "prefetch");
   EXPECT_EQ(names[2], "cache");
   EXPECT_EQ(names[3], "batch");
+  EXPECT_EQ(names[4], "cache_tiers");
+  EXPECT_EQ(names[5], "shard_sources");
   for (const std::string& name : names) {
     auto pass = PassRegistry::Global().Create(name);
     ASSERT_TRUE(pass.ok()) << name;
     EXPECT_EQ((*pass)->name(), name);
-    // Only the cache pass declares a follow-up (the re-parallelism
-    // that redistributes freed cores in generated schedules).
-    if (name == "cache") {
-      EXPECT_STREQ((*pass)->followup(), "parallelism");
+    // The cache passes and the shard pass declare a re-parallelism
+    // follow-up (redistribute the cores their rewrite frees or the
+    // bandwidth it adds) in generated schedules.
+    if (name == "cache" || name == "cache_tiers" ||
+        name == "shard_sources") {
+      EXPECT_STREQ((*pass)->followup(), "parallelism") << name;
     } else {
-      EXPECT_EQ((*pass)->followup(), nullptr);
+      EXPECT_EQ((*pass)->followup(), nullptr) << name;
     }
   }
 }
@@ -257,6 +262,131 @@ TEST(BatchSizePassTest, RespectsExplicitEngineBatchSize) {
     EXPECT_EQ(rewriter::GetEngineBatchSize(result->graph), 0)
         << "explicit " << explicit_batch;
     EXPECT_FALSE(result->pass_reports[0].changed);
+  }
+}
+
+const NodeDef* FindCacheNode(const GraphDef& graph) {
+  for (const NodeDef& node : graph.nodes()) {
+    if (node.op == "cache") return &node;
+  }
+  return nullptr;
+}
+
+TEST(CachePlacementPassTest, MemoryPlacementMatchesCachePass) {
+  // When the materialization fits DRAM, cache_tiers must place the
+  // exact cache node CachePass would: same insertion point, same name,
+  // and no tier attr (the memory-tier rewrite is bit-identical).
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.machine.memory_bytes = 1ull << 30;
+  options.machine.scratch = DeviceSpec::NvmeSsd();
+  options.machine.scratch_bytes = 64ull << 20;
+  options.schedule = "cache_tiers";
+  auto tiered = PlumberOptimizer(options).Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(tiered.ok()) << tiered.status();
+  options.schedule = "cache";
+  auto legacy = PlumberOptimizer(options).Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+
+  EXPECT_EQ(tiered->tiered_cache.tier, CacheTier::kMemory);
+  const NodeDef* a = FindCacheNode(tiered->graph);
+  const NodeDef* b = FindCacheNode(legacy->graph);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->name, b->name);
+  EXPECT_EQ(a->inputs, b->inputs);
+  EXPECT_FALSE(a->HasAttr(kAttrCacheTier));
+}
+
+TEST(CachePlacementPassTest, FallsBackToDiskUnderTightMemory) {
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.machine.memory_bytes = 1024;  // nothing fits DRAM
+  options.machine.scratch = DeviceSpec::NvmeSsd();
+  options.machine.scratch_bytes = 64ull << 20;
+  options.schedule = "cache_tiers";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->tiered_cache.feasible);
+  EXPECT_EQ(result->tiered_cache.tier, CacheTier::kDisk);
+  EXPECT_GT(result->tiered_cache.disk_serve_rate, 0);
+  const NodeDef* cache = FindCacheNode(result->graph);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->GetString(kAttrCacheTier), "disk");
+}
+
+TEST(CachePlacementPassTest, SkipsWithoutAnyFittingTier) {
+  // Tight memory and no scratch tier: the pass reports infeasible and
+  // leaves the graph cache-free instead of forcing a bad placement.
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.machine.memory_bytes = 1024;
+  options.machine.scratch_bytes = 0;
+  options.schedule = "cache_tiers";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->tiered_cache.feasible);
+  EXPECT_FALSE(result->pass_reports[0].changed);
+  EXPECT_EQ(FindCacheNode(result->graph), nullptr);
+}
+
+TEST(ShardSourcesPassTest, SolvesShardCountFromDiskBound) {
+  // A few hundred bytes/sec of modeled disk against a CPU plan in the
+  // hundreds of minibatches/sec: the solve wants far more shards than
+  // exist, so the count clamps to the file count (4).
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "shard_sources";
+  options.lp_options.disk_bandwidth = 500;
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->pass_reports[0].changed);
+  EXPECT_EQ(result->shard_count, 4);
+  EXPECT_TRUE(rewriter::HasOp(result->graph, "shard_merge"));
+  EXPECT_TRUE(result->graph.Validate().ok());
+  // The original unsharded source chain is gone.
+  EXPECT_EQ(result->graph.FindNode("interleave"), nullptr);
+  EXPECT_EQ(result->graph.FindNode("files"), nullptr);
+}
+
+TEST(ShardSourcesPassTest, SkipsWhenNotDiskLimited) {
+  // Without a modeled disk bound there is nothing to shard away.
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.schedule = "shard_sources";
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->pass_reports[0].changed);
+  EXPECT_EQ(result->shard_count, 0);
+  EXPECT_FALSE(rewriter::HasOp(result->graph, "shard_merge"));
+}
+
+TEST(PassFrameworkTest, DefaultScheduleIgnoresPlacementPasses) {
+  // The placement passes are opt-in: even with a scratch tier and a
+  // disk bound configured, the default schedule neither stamps a cache
+  // tier nor shards the source.
+  EXPECT_EQ(std::string(kDefaultPassSchedule).find("cache_tiers"),
+            std::string::npos);
+  EXPECT_EQ(std::string(kDefaultPassSchedule).find("shard_sources"),
+            std::string::npos);
+  PipelineTestEnv env(4, 50, 64);
+  OptimizeOptions options = MakeOptions(env);
+  options.machine.memory_bytes = 10 << 20;
+  options.machine.scratch = DeviceSpec::NvmeSsd();
+  options.machine.scratch_bytes = 64ull << 20;
+  options.lp_options.disk_bandwidth = 500;
+  ASSERT_EQ(options.EffectiveSchedule(), kDefaultPassSchedule);
+  PlumberOptimizer optimizer(options);
+  auto result = optimizer.Optimize(MisconfiguredGraph());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(rewriter::HasOp(result->graph, "shard_merge"));
+  const NodeDef* cache = FindCacheNode(result->graph);
+  if (cache != nullptr) {
+    EXPECT_FALSE(cache->HasAttr(kAttrCacheTier));
   }
 }
 

@@ -1,0 +1,269 @@
+// Data-placement runtime tests: the disk-tier cache serving through the
+// modeled scratch device, the ShardSource rewrite's element-multiset
+// identity, per-shard device metering, and fleet shard pinning.
+#include <gtest/gtest.h>
+
+#include "src/api/fleet_session.h"
+#include "src/core/rewriter.h"
+#include "src/pipeline/graph_builder.h"
+#include "src/pipeline/ops.h"
+#include "src/pipeline/pipeline.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::Drain;
+using testing_util::ExpectIdenticalOutput;
+using testing_util::PipelineTestEnv;
+using testing_util::SizeFingerprint;
+
+// ------------------------------------------------------ disk-tier cache
+
+GraphDef CachedReaderGraph(CacheTier tier) {
+  GraphBuilder b;
+  auto n = b.TfRecord("reader", b.FileList("files", "data/"));
+  n = b.Map("grow", n, "double_size");
+  GraphDef graph = std::move(b.Build(n)).value();
+  EXPECT_TRUE(rewriter::InjectCache(&graph, "grow", tier).ok());
+  return graph;
+}
+
+TEST(DiskTierCacheTest, ServesThroughScratchDevice) {
+  PipelineTestEnv env;
+  PipelineOptions options = env.Options();
+  options.scratch = DeviceSpec::TokenBucketLimit(256e6);
+  options.scratch_budget_bytes = 16ull << 20;
+  auto pipeline =
+      std::move(Pipeline::Create(CachedReaderGraph(CacheTier::kDisk), options))
+          .value();
+  StorageDevice* scratch = pipeline->context()->scratch_device;
+  ASSERT_NE(scratch, nullptr);
+
+  // Epoch 1 materializes: elements flow from the source, nothing is
+  // served from scratch yet.
+  const auto epoch1 = Drain(*pipeline);
+  EXPECT_EQ(static_cast<int>(epoch1.size()), env.total_records());
+  EXPECT_EQ(scratch->total_bytes_read(), 0u);
+
+  // Epoch 2 serves the materialization: every byte is metered through
+  // the scratch device.
+  const auto epoch2 = Drain(*pipeline);
+  ASSERT_EQ(epoch2.size(), epoch1.size());
+  uint64_t served = 0;
+  for (const auto& e : epoch2) served += e.TotalBytes();
+  EXPECT_EQ(scratch->total_bytes_read(), served);
+  ExpectIdenticalOutput(epoch1, epoch2);
+}
+
+TEST(DiskTierCacheTest, MemoryTierNeverTouchesScratch) {
+  PipelineTestEnv env;
+  PipelineOptions options = env.Options();
+  options.scratch = DeviceSpec::TokenBucketLimit(256e6);
+  options.scratch_budget_bytes = 16ull << 20;
+  auto pipeline = std::move(Pipeline::Create(
+                                CachedReaderGraph(CacheTier::kMemory), options))
+                      .value();
+  (void)Drain(*pipeline);
+  (void)Drain(*pipeline);
+  ASSERT_NE(pipeline->context()->scratch_device, nullptr);
+  EXPECT_EQ(pipeline->context()->scratch_device->total_bytes_read(), 0u);
+}
+
+TEST(DiskTierCacheTest, MaterializationHonorsScratchBudget) {
+  PipelineTestEnv env;
+  PipelineOptions options = env.Options();
+  options.scratch = DeviceSpec::TokenBucketLimit(256e6);
+  options.scratch_budget_bytes = 512;  // far below the materialization
+  auto pipeline =
+      std::move(Pipeline::Create(CachedReaderGraph(CacheTier::kDisk), options))
+          .value();
+  auto iterator = std::move(pipeline->MakeIterator()).value();
+  Element e;
+  bool end = false;
+  Status status = OkStatus();
+  while (status.ok() && !end) status = iterator->GetNext(&e, &end);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted) << status;
+}
+
+TEST(DiskTierCacheTest, DegradesToUnmeteredWithoutScratchDevice) {
+  // A disk-tier cache node in a pipeline with no configured scratch
+  // tier still runs (unmetered, unbudgeted) instead of failing: the
+  // graph stays portable across machines.
+  PipelineTestEnv env;
+  auto pipeline = std::move(Pipeline::Create(CachedReaderGraph(CacheTier::kDisk),
+                                             env.Options()))
+                      .value();
+  EXPECT_EQ(pipeline->context()->scratch_device, nullptr);
+  const auto epoch1 = Drain(*pipeline);
+  const auto epoch2 = Drain(*pipeline);
+  EXPECT_EQ(static_cast<int>(epoch1.size()), env.total_records());
+  EXPECT_EQ(epoch1.size(), epoch2.size());
+}
+
+// ------------------------------------------------------- shard sources
+
+// Files with per-file record sizes, so the size fingerprint detects
+// which files were read, not just how many records.
+void CreateVariedFiles(SimFilesystem& fs, int num_files,
+                       int records_per_file) {
+  for (int f = 0; f < num_files; ++f) {
+    std::vector<uint64_t> sizes(records_per_file, 32 + 16 * f);
+    ASSERT_TRUE(
+        fs.CreateRecordFile("var/f" + std::to_string(f), f + 1,
+                            std::move(sizes))
+            .ok());
+  }
+}
+
+GraphDef VariedReaderGraph() {
+  GraphBuilder b;
+  auto n = b.TfRecord("reader", b.FileList("files", "var/"));
+  n = b.Map("m", n, "double_size", 2);
+  return std::move(b.Build(n)).value();
+}
+
+TEST(ShardSourceTest, RewritePreservesElementMultiset) {
+  PipelineTestEnv env;
+  CreateVariedFiles(env.fs, 5, 10);
+
+  GraphDef unsharded = VariedReaderGraph();
+  GraphDef sharded = unsharded;
+  auto merge = rewriter::ShardSource(&sharded, "reader", 3);
+  ASSERT_TRUE(merge.ok()) << merge.status();
+  ASSERT_TRUE(rewriter::HasOp(sharded, "shard_merge"));
+
+  auto base =
+      std::move(Pipeline::Create(std::move(unsharded), env.Options())).value();
+  auto split =
+      std::move(Pipeline::Create(std::move(sharded), env.Options())).value();
+  // Shards are pulled concurrently, so order differs; the multiset of
+  // element sizes must not (disjoint partitions, union = all files).
+  const auto a = Drain(*base);
+  const auto b = Drain(*split);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_EQ(SizeFingerprint(a), SizeFingerprint(b));
+}
+
+TEST(ShardSourceTest, ShardsReadAgainstOwnDevices) {
+  PipelineTestEnv env;
+  CreateVariedFiles(env.fs, 6, 10);
+  // Attach a metered device so the pipeline grows a ShardDevicePool
+  // cloned from its spec.
+  StorageDevice primary(DeviceSpec::TokenBucketLimit(512e6));
+  env.fs.set_device(&primary);
+
+  GraphDef graph = VariedReaderGraph();
+  ASSERT_TRUE(rewriter::ShardSource(&graph, "reader", 2).ok());
+  auto pipeline =
+      std::move(Pipeline::Create(std::move(graph), env.Options())).value();
+  ShardDevicePool* pool = pipeline->context()->shard_devices;
+  ASSERT_NE(pool, nullptr);
+  const auto out = Drain(*pipeline);
+  EXPECT_EQ(out.size(), 60u);
+  // Both shard devices were instantiated and carried reads; the
+  // original device saw none of the shard traffic.
+  ASSERT_EQ(pool->num_devices(), 2);
+  EXPECT_GT(pool->DeviceFor(0)->total_bytes_read(), 0u);
+  EXPECT_GT(pool->DeviceFor(1)->total_bytes_read(), 0u);
+  EXPECT_EQ(primary.total_bytes_read(), 0u);
+}
+
+TEST(ShardSourceTest, RejectsBadArguments) {
+  PipelineTestEnv env;
+  CreateVariedFiles(env.fs, 4, 5);
+  GraphDef graph = VariedReaderGraph();
+  EXPECT_EQ(rewriter::ShardSource(&graph, "reader", 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rewriter::ShardSource(&graph, "nope", 2).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(rewriter::ShardSource(&graph, "m", 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(rewriter::ShardSource(&graph, "reader", 2).ok());
+  // Re-sharding a sharded graph is refused (no reader is unsharded).
+  for (const NodeDef& node : graph.nodes()) {
+    if (node.op != "tfrecord") continue;
+    EXPECT_EQ(rewriter::ShardSource(&graph, node.name, 2).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ShardSourceTest, ExtractShardYieldsRunnableSingleShardPrograms) {
+  PipelineTestEnv env;
+  CreateVariedFiles(env.fs, 5, 10);
+
+  GraphDef unsharded = VariedReaderGraph();
+  GraphDef sharded = unsharded;
+  ASSERT_TRUE(rewriter::ShardSource(&sharded, "reader", 3).ok());
+  // The merged graph holds several shards: no single pin.
+  EXPECT_EQ(rewriter::GraphShardIndex(sharded), -1);
+  EXPECT_EQ(rewriter::GraphShardIndex(unsharded), -1);
+
+  std::vector<Element> all;
+  for (int shard = 0; shard < 3; ++shard) {
+    auto cut = rewriter::ExtractShard(sharded, shard);
+    ASSERT_TRUE(cut.ok()) << cut.status();
+    EXPECT_EQ(rewriter::GraphShardIndex(*cut), shard);
+    EXPECT_FALSE(rewriter::HasOp(*cut, "shard_merge"));
+    auto pipeline =
+        std::move(Pipeline::Create(std::move(*cut), env.Options())).value();
+    for (auto& e : Drain(*pipeline)) all.push_back(std::move(e));
+  }
+  EXPECT_EQ(rewriter::ExtractShard(sharded, 9).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(rewriter::ExtractShard(unsharded, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // The three single-shard programs together produce exactly the
+  // unsharded multiset.
+  auto base =
+      std::move(Pipeline::Create(std::move(unsharded), env.Options())).value();
+  EXPECT_EQ(SizeFingerprint(all), SizeFingerprint(Drain(*base)));
+}
+
+// ------------------------------------------------------- fleet pinning
+
+TEST(FleetShardPinningTest, ShardProgramsPinToDistinctHosts) {
+  FleetSessionOptions fo;
+  fo.hosts = {MachineSpec::SetupA(), MachineSpec::SetupA(),
+              MachineSpec::SetupA()};
+  fo.fleet.policy = fleet::DispatchPolicy::kLocality;
+  fo.fleet.work_stealing = false;
+  FleetSession cluster(fo);
+  ASSERT_TRUE(cluster.CreateRecordFiles("data/f", 6, 10, 64).ok());
+
+  GraphBuilder b;
+  auto n = b.TfRecord("reader", b.FileList("files", "data/"));
+  n = b.Map("m", n, "noop");
+  GraphDef graph = std::move(b.Build(n)).value();
+  ASSERT_TRUE(cluster.env().RegisterUdf([] {
+                UdfSpec noop;
+                noop.name = "noop";
+                return noop;
+              }())
+                  .ok());
+  ASSERT_TRUE(rewriter::ShardSource(&graph, "reader", 3).ok());
+
+  std::vector<fleet::FleetJobHandle> handles;
+  for (int shard = 0; shard < 3; ++shard) {
+    auto cut = rewriter::ExtractShard(graph, shard);
+    ASSERT_TRUE(cut.ok()) << cut.status();
+    handles.push_back(cluster.Submit(std::move(*cut)));
+  }
+  for (int shard = 0; shard < 3; ++shard) {
+    ASSERT_TRUE(handles[shard].Wait().ok());
+    EXPECT_EQ(handles[shard].Stats().host, shard) << "shard " << shard;
+  }
+
+  // An explicit pin always wins over the shard-derived one.
+  auto cut = rewriter::ExtractShard(graph, 0);
+  ASSERT_TRUE(cut.ok());
+  fleet::FleetJobOptions jopts;
+  jopts.pinned_host = 2;
+  auto pinned = cluster.Submit(std::move(*cut), jopts);
+  ASSERT_TRUE(pinned.Wait().ok());
+  EXPECT_EQ(pinned.Stats().host, 2);
+}
+
+}  // namespace
+}  // namespace plumber

@@ -165,6 +165,52 @@ TEST(RewriteEquivalenceTest, PassOrderPermutationsPreserveSemantics) {
   }
 }
 
+TEST(RewriteEquivalenceTest, PlacementScheduleDropInsPreserveSemantics) {
+  // The opt-in placement passes (cache_tiers, shard_sources) slot into
+  // any schedule position and stay semantics-preserving, under a
+  // machine where they actually fire: memory too small for a DRAM
+  // cache (so cache_tiers goes to disk) and a modeled disk bound (so
+  // shard_sources shards). "cache" and "cache_tiers" together — in
+  // either order — must never double-insert.
+  PipelineTestEnv env(3, 20, 48);
+  const std::vector<size_t> expected = ReferenceFingerprint(env);
+
+  const char* kSchedules[] = {
+      "cache_tiers,parallelism",
+      "parallelism,prefetch,cache_tiers,parallelism",
+      "shard_sources,parallelism",
+      "shard_sources,cache_tiers,prefetch,parallelism",
+      "cache,cache_tiers",
+      "cache_tiers,cache",
+      "batch,shard_sources,cache_tiers",
+  };
+  for (const char* schedule : kSchedules) {
+    OptimizeOptions options;
+    options.machine = MachineSpec::SetupA();
+    options.machine.num_cores = 8;
+    options.machine.memory_bytes = 1024;
+    options.machine.scratch = DeviceSpec::NvmeSsd();
+    options.machine.scratch_bytes = 64ull << 20;
+    options.lp_options.disk_bandwidth = 500;
+    options.fs = &env.fs;
+    options.udfs = &env.udfs;
+    options.trace_seconds = 0.15;
+    options.schedule = schedule;
+    PlumberOptimizer optimizer(options);
+    auto result = optimizer.Optimize(FiniteGraph());
+    ASSERT_TRUE(result.ok()) << schedule << ": " << result.status();
+    ASSERT_TRUE(result->graph.Validate().ok()) << schedule;
+    int caches = 0;
+    for (const NodeDef& node : result->graph.nodes()) {
+      if (node.op == "cache") ++caches;
+    }
+    EXPECT_LE(caches, 1) << schedule;
+    auto pipeline = Pipeline::Create(result->graph, env.Options());
+    ASSERT_TRUE(pipeline.ok()) << schedule << ": " << pipeline.status();
+    EXPECT_EQ(SizeFingerprint(Drain(**pipeline)), expected) << schedule;
+  }
+}
+
 TEST(RewriteEquivalenceTest, SecondPrefetchInjectionIsIdempotent) {
   PipelineTestEnv env(3, 20, 48);
   GraphDef graph = FiniteGraph();
