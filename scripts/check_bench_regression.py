@@ -73,6 +73,7 @@ DEFAULT_BENCHES = [
     "bench_fig3_fleet_latency",
     "bench_fig4_fleet_utilization",
     "bench_obs8_cache",
+    "bench_network",
 ]
 
 # Wrapper-bench metric carrying the host's calibrated spin rate; it is

@@ -20,6 +20,7 @@ PipelineOptions MakePipelineOptions(SessionState& state) {
   popts.engine_batch_size = so.engine_batch_size;
   popts.scratch = so.machine.scratch;
   popts.scratch_budget_bytes = so.machine.scratch_bytes;
+  popts.nic = state.nic.get();
   return popts;
 }
 
@@ -39,6 +40,12 @@ void ApplyEnvironment(SessionState& state, OptimizeOptions* options) {
   // engine_batch_size is a tuning knob and wins over the session's.
   if (options->engine_batch_size <= 0) {
     options->engine_batch_size = so.engine_batch_size;
+  }
+  // The planner's network constraint defaults to the machine's NIC so
+  // attaching one device keeps runtime metering and planning aligned;
+  // an explicit per-call bandwidth wins.
+  if (options->lp_options.network_bandwidth <= 0) {
+    options->lp_options.network_bandwidth = so.machine.nic.max_bandwidth;
   }
 }
 
@@ -88,6 +95,11 @@ Status Session::RegisterUdf(UdfSpec spec) {
 void Session::AttachStorage(const DeviceSpec& spec) {
   state_->storage = std::make_unique<StorageDevice>(spec);
   state_->fs.set_device(state_->storage.get());
+}
+
+void Session::AttachNic(const NicSpec& spec) {
+  state_->nic = std::make_unique<NetworkDevice>(spec);
+  state_->options.machine.nic = spec;
 }
 
 Flow Session::Files(const std::string& prefix) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/io/storage_device.h"
+#include "src/net/network_device.h"
 
 namespace plumber {
 
@@ -28,6 +29,10 @@ struct MachineSpec {
   // DRAM.
   DeviceSpec scratch = DeviceSpec::Unlimited();
   uint64_t scratch_bytes = 0;
+  // Host NIC (src/net). Unlimited by default, so single-host machines
+  // without a network model behave exactly as before; fleet hosts and
+  // remote-read sessions set a real bandwidth/latency here.
+  NicSpec nic = NicSpec::Unlimited();
 
   // Setup A: consumer-grade AMD 2700X, 16 cores, 32 GiB.
   static MachineSpec SetupA(double byte_scale = 1.0);

@@ -39,12 +39,14 @@ StatusOr<PipelineModel> PipelineModel::Build(const TraceSnapshot& trace,
     node.inputs = def->inputs;
     node.parallelizable =
         OpSupportsParallelism(def->op) && def->GetBool(kAttrTunable, true);
-    node.is_source = def->op == "tfrecord" || def->op == "interleave";
+    node.is_source = def->op == "tfrecord" || def->op == "remote_read" ||
+                     def->op == "interleave";
     node.parallelism = 1;
     if (const auto* s = trace.FindStats(name)) {
       node.completions = s->elements_produced;
       node.cpu_seconds = s->cpu_ns * 1e-9;
       node.bytes_read = s->bytes_read;
+      node.network_bytes = s->network_bytes;
       node.parallelism = std::max(1, s->parallelism);
       node.udf_name = s->udf_name;
       if (node.completions > 0) {
@@ -87,6 +89,10 @@ StatusOr<PipelineModel> PipelineModel::Build(const TraceSnapshot& trace,
     if (node.bytes_read > 0 && trace.root_completions > 0) {
       node.disk_bytes_per_minibatch =
           static_cast<double>(node.bytes_read) / trace.root_completions;
+    }
+    if (node.network_bytes > 0 && trace.root_completions > 0) {
+      node.network_bytes_per_minibatch =
+          static_cast<double>(node.network_bytes) / trace.root_completions;
     }
   }
 
@@ -246,6 +252,14 @@ double PipelineModel::DiskBytesPerMinibatch() const {
   double total = 0;
   for (const auto& node : nodes_) {
     if (!node.below_cache) total += node.disk_bytes_per_minibatch;
+  }
+  return total;
+}
+
+double PipelineModel::NetworkBytesPerMinibatch() const {
+  double total = 0;
+  for (const auto& node : nodes_) {
+    if (!node.below_cache) total += node.network_bytes_per_minibatch;
   }
   return total;
 }

@@ -41,7 +41,9 @@ struct NodeModel {
   double cardinality = kModelUnknown;     // ni (negative sentinels above)
   double materialized_bytes = -1;         // ni * bi; -1 if unknown/infinite
   double disk_bytes_per_minibatch = 0;    // sources only
+  double network_bytes_per_minibatch = 0; // remote_read sources only
   uint64_t bytes_read = 0;
+  uint64_t network_bytes = 0;
 
   int parallelism = 1;
   bool parallelizable = false;  // has a tunable parallelism knob
@@ -78,6 +80,11 @@ class PipelineModel {
 
   // Aggregate disk demand: bytes per minibatch across sources.
   double DiskBytesPerMinibatch() const;
+
+  // Aggregate network demand: bytes per minibatch crossing the wire
+  // (remote_read sources). Feeds the LP's network rate cap exactly as
+  // DiskBytesPerMinibatch feeds the disk cap.
+  double NetworkBytesPerMinibatch() const;
 
   // Dataset-size estimate for a source prefix via subsampled file
   // sizes rescaled by m/n (App. A); also an aggregate over all sources.

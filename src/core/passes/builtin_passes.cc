@@ -23,6 +23,13 @@ StatusOr<PassReport> ParallelismPass::Run(OptimizationContext& ctx) const {
   std::ostringstream os;
   os << "lp rate=" << report.plan.predicted_rate
      << " bottleneck=" << report.plan.bottleneck;
+  // Surface the binding resource class next to the rate so a pass log
+  // shows *why* the rate stops where it does.
+  if (report.plan.network_limited) {
+    os << " network_limited";
+  } else if (report.plan.disk_limited) {
+    os << " disk_limited";
+  }
   report.summary = os.str();
   return report;
 }
@@ -219,6 +226,17 @@ StatusOr<PassReport> ShardSourcesPass::Run(OptimizationContext& ctx) const {
   report.traced_rate = model->observed_rate();
   const LpPlan plan = PlanAllocation(*model, ctx.options().lp_options);
   report.plan = plan;
+  // A NIC-capped pipeline gains nothing from sharding: every shard's
+  // bytes still cross the same wire, so N disks cannot feed a rate the
+  // network refuses to carry. Refuse rather than spend worker threads.
+  if (plan.network_limited) {
+    std::ostringstream os;
+    os << "pipeline is network-limited (nic bound "
+       << plan.network_bound_rate
+       << "); sharding disks cannot raise a NIC-capped rate; skipped";
+    report.summary = os.str();
+    return report;
+  }
   if (!plan.disk_limited || plan.disk_bound_rate <= 0) {
     report.summary = "pipeline is not disk-limited; skipped";
     return report;
@@ -228,7 +246,10 @@ StatusOr<PassReport> ShardSourcesPass::Run(OptimizationContext& ctx) const {
   std::string reader;
   std::string prefix;
   for (const NodeDef& node : ctx.graph().nodes()) {
-    if (node.op != "tfrecord" && node.op != "interleave") continue;
+    if (node.op != "tfrecord" && node.op != "remote_read" &&
+        node.op != "interleave") {
+      continue;
+    }
     if (node.inputs.size() != 1) continue;
     const NodeDef* child = ctx.graph().FindNode(node.inputs[0]);
     if (child == nullptr || child->op != "file_list") continue;
@@ -250,9 +271,16 @@ StatusOr<PassReport> ShardSourcesPass::Run(OptimizationContext& ctx) const {
     report.summary = "fewer than 2 source files; cannot shard";
     return report;
   }
-  // Smallest N whose combined disk bound clears the CPU-bound rate.
-  const int want = static_cast<int>(
-      std::ceil(plan.cpu_bound_rate / plan.disk_bound_rate));
+  // Smallest N whose combined disk bound clears the target rate: the
+  // CPU bound, or the NIC bound when a modeled network would cap the
+  // pipeline first — asking for more disks than the wire can feed just
+  // wastes reader threads.
+  double target_rate = plan.cpu_bound_rate;
+  if (plan.network_bound_rate >= 0 && plan.network_bound_rate < target_rate) {
+    target_rate = plan.network_bound_rate;
+  }
+  const int want =
+      static_cast<int>(std::ceil(target_rate / plan.disk_bound_rate));
   const int shards =
       std::min({std::max(2, want), kMaxShards, num_files});
 

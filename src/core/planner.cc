@@ -60,6 +60,10 @@ LpPlan PlanFromStages(const std::vector<MaxMinStage>& stages,
   if (options.disk_bandwidth > 0 && disk_demand > 0) {
     plan.disk_bound_rate = options.disk_bandwidth / disk_demand;
   }
+  const double network_demand = model.NetworkBytesPerMinibatch();
+  if (options.network_bandwidth > 0 && network_demand > 0) {
+    plan.network_bound_rate = options.network_bandwidth / network_demand;
+  }
 
   MaxMinSolution solution;
   if (options.use_simplex) {
@@ -84,6 +88,14 @@ LpPlan PlanFromStages(const std::vector<MaxMinStage>& stages,
       plan.disk_bound_rate < plan.predicted_rate) {
     plan.predicted_rate = plan.disk_bound_rate;
     plan.disk_limited = true;
+  }
+  // The network cap applies after the disk cap; when the NIC is the
+  // lower of the two it owns the bottleneck label.
+  if (plan.network_bound_rate >= 0 &&
+      plan.network_bound_rate < plan.predicted_rate) {
+    plan.predicted_rate = plan.network_bound_rate;
+    plan.network_limited = true;
+    plan.disk_limited = false;
   }
 
   // Integer parallelism from fractional theta. Rounding every stage up
@@ -204,8 +216,9 @@ double PredictedRateWithCacheAt(const PipelineModel& model,
     stages.push_back(std::move(stage));
   }
   LpPlanOptions opts = lp_options;
-  // A cached pipeline no longer reads from storage.
+  // A cached pipeline no longer reads from storage or the network.
   opts.disk_bandwidth = 0;
+  opts.network_bandwidth = 0;
   if (stages.empty()) {
     // Everything is free: rate is bounded elsewhere (consumer).
     return std::numeric_limits<double>::infinity();

@@ -17,6 +17,10 @@ struct LpPlanOptions {
   // Aggregate read bandwidth available to the pipeline, bytes/sec;
   // 0 disables the disk constraint.
   double disk_bandwidth = 0;
+  // Aggregate NIC bandwidth available to the pipeline, bytes/sec;
+  // 0 disables the network constraint. Sessions default it from
+  // MachineSpec::nic when a real NIC is attached.
+  double network_bandwidth = 0;
   // Optional empirical parallelism -> bandwidth curve for the source
   // (fit by the I/O profiler); used to pick minimal read parallelism.
   PiecewiseLinear io_curve;
@@ -32,6 +36,12 @@ struct LpPlan {
   // Disk-imposed bound; <0 means unconstrained.
   double disk_bound_rate = -1;
   bool disk_limited = false;
+  // Network-imposed bound (NIC bandwidth / wire bytes per minibatch);
+  // <0 means unconstrained. network_limited marks plans whose rate the
+  // NIC caps below both the CPU and the disk bound — the bottleneck
+  // class sharding cannot fix (all shards share the wire).
+  double network_bound_rate = -1;
+  bool network_limited = false;
   // Fractional cores per stage (theta) and integer knob suggestions.
   std::map<std::string, double> theta;
   std::map<std::string, int> parallelism;

@@ -24,6 +24,7 @@ std::string TraceSnapshot::Serialize() const {
     os << "stat " << s.name << " produced=" << s.elements_produced
        << " consumed=" << s.elements_consumed
        << " bytes=" << s.bytes_produced << " bytes_read=" << s.bytes_read
+       << " network_bytes=" << s.network_bytes
        << " cpu_ns=" << s.cpu_ns << " parallelism=" << s.parallelism
        << "\n";
   }

@@ -100,7 +100,7 @@ std::string ArrivalTrace::Serialize() const {
            FormatDouble(c.cost_ns) + ' ' + std::to_string(c.parallelism) +
            ' ' + FormatDouble(c.mean_elements) + ' ' +
            runtime::SloClassName(c.slo) + ' ' + FormatDouble(c.priority) +
-           '\n';
+           ' ' + FormatDouble(c.latency_target_s) + '\n';
   }
   for (const ArrivalEvent& e : events) {
     out += "event " + FormatDouble(e.arrival_s) + ' ' +
@@ -132,9 +132,10 @@ StatusOr<ArrivalTrace> ArrivalTrace::Parse(const std::string& text) {
       continue;
     }
     if (tokens[0] == "class") {
-      // 5 fields is the pre-SLO format; 7 adds <slo> <priority>.
-      if (tokens.size() != 6 && tokens.size() != 8) {
-        return LineError(line_no, "class takes 5 or 7 fields, got " +
+      // 5 fields is the pre-SLO format; 7 adds <slo> <priority>; 8 adds
+      // <latency_target_s>.
+      if (tokens.size() != 6 && tokens.size() != 8 && tokens.size() != 9) {
+        return LineError(line_no, "class takes 5, 7, or 8 fields, got " +
                                       std::to_string(tokens.size() - 1));
       }
       TraceJobClass c;
@@ -156,7 +157,7 @@ StatusOr<ArrivalTrace> ArrivalTrace::Parse(const std::string& text) {
                          "bad class mean_elements '" + tokens[5] + "'");
       }
       c.parallelism = static_cast<int>(parallelism);
-      if (tokens.size() == 8) {
+      if (tokens.size() >= 8) {
         if (!ParseSloToken(tokens[6], &c.slo)) {
           return LineError(line_no, "bad class slo '" + tokens[6] +
                                         "' (want interactive|batch|"
@@ -164,6 +165,13 @@ StatusOr<ArrivalTrace> ArrivalTrace::Parse(const std::string& text) {
         }
         if (!ParseDoubleToken(tokens[7], &c.priority) || c.priority <= 0) {
           return LineError(line_no, "bad class priority '" + tokens[7] + "'");
+        }
+      }
+      if (tokens.size() == 9) {
+        if (!ParseDoubleToken(tokens[8], &c.latency_target_s) ||
+            c.latency_target_s < 0) {
+          return LineError(line_no,
+                           "bad class latency_target_s '" + tokens[8] + "'");
         }
       }
       trace.classes.push_back(std::move(c));
@@ -259,6 +267,41 @@ ArrivalTrace MakeBurstyTrace(std::vector<TraceJobClass> classes,
       ++emitted;
       now += rng.Exponential(burst_rate);
     } while (emitted < options.num_jobs && rng.Bernoulli(p_continue));
+  }
+  return trace;
+}
+
+ArrivalTrace MakeTimeVaryingTrace(std::vector<TraceJobClass> classes,
+                                  const TimeVaryingTraceOptions& options) {
+  ArrivalTrace trace;
+  trace.classes = std::move(classes);
+  Rng rng(SplitMix64(options.seed ^ 0xd1b54a32d192ed03ULL));
+  const std::vector<double> weights = Weights(trace.classes);
+  const double base = std::max(1e-9, options.base_rate);
+  const double amplitude = std::clamp(options.amplitude, 0.0, 1.0);
+  const double duration = std::max(1e-9, options.duration_s);
+  const double period = std::max(1e-9, options.period_s);
+  const auto rate_at = [&](double t) {
+    switch (options.shape) {
+      case TimeVaryingShape::kSinusoid:
+        return base * (1.0 + amplitude * std::sin(2.0 * M_PI * t / period));
+      case TimeVaryingShape::kRamp:
+        return base * (1.0 - amplitude + 2.0 * amplitude * t / duration);
+    }
+    return base;
+  };
+  // Thinning: homogeneous candidates at the peak rate, each kept with
+  // probability rate(t)/peak — the standard exact sampler for a
+  // non-homogeneous Poisson process with a bounded rate.
+  const double peak = base * (1.0 + amplitude);
+  double now = 0;
+  for (;;) {
+    now += rng.Exponential(peak);
+    if (now >= duration) break;
+    if (!rng.Bernoulli(rate_at(now) / peak)) continue;
+    trace.events.push_back(DrawEvent(rng, trace.classes, weights, now,
+                                     options.pin_fraction,
+                                     options.num_hosts));
   }
   return trace;
 }

@@ -13,19 +13,23 @@
 // numbers):
 //   plumber_arrival_trace v1
 //   class <name> <weight> <cost_ns> <parallelism> <mean_elements>
-//         ... [<slo> <priority>]   (continuation of the class line)
+//         ... [<slo> <priority> [<latency_target_s>]]
+//                                  (continuation of the class line)
 //   event <arrival_s> <class_index> <elements> <pinned_host>
 // The trailing class fields are optional for back-compat with traces
 // serialized before SLO scheduling existed: <slo> is one of
-// interactive|batch|best_effort (default batch) and <priority> the
-// within-class water-fill weight (default 1). Serialize always emits
-// them.
+// interactive|batch|best_effort (default batch), <priority> the
+// within-class water-fill weight (default 1), and <latency_target_s>
+// the per-request completion deadline (default 0 = none). Serialize
+// always emits all three.
 //
-// Two seeded generators cover the serving-paper workload shapes: a
-// homogeneous-rate Poisson process and a bursty on/off process (burst
-// arrivals at a fast rate, geometric burst lengths, long idle gaps).
-// Both draw job classes from the trace's weighted mixture and are
-// deterministic for a fixed seed.
+// Three seeded generators cover the serving-paper workload shapes: a
+// homogeneous-rate Poisson process, a bursty on/off process (burst
+// arrivals at a fast rate, geometric burst lengths, long idle gaps),
+// and a time-varying open-loop process (sinusoidal or ramp arrival
+// rate, thinned non-homogeneous Poisson) for streaming/online-
+// inference front doors. All draw job classes from the trace's
+// weighted mixture and are deterministic for a fixed seed.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +54,11 @@ struct TraceJobClass {
   // tier and weight the class accordingly.
   runtime::SloClass slo = runtime::SloClass::kBatch;
   double priority = 1.0;
+  // Per-request completion deadline, seconds from submit; 0 = none.
+  // The replay driver forwards it as JobOptions::latency_target_s so
+  // executors order and shed by it, and FleetClassLatency reports the
+  // class's attainment against it.
+  double latency_target_s = 0;
 };
 
 // One job arrival.
@@ -109,6 +118,36 @@ struct BurstyTraceOptions {
 // dispatch hardest.
 ArrivalTrace MakeBurstyTrace(std::vector<TraceJobClass> classes,
                              const BurstyTraceOptions& options);
+
+// Deterministic rate shapes for the time-varying generator.
+enum class TimeVaryingShape {
+  // rate(t) = base * (1 + amplitude * sin(2*pi * t / period_s))
+  kSinusoid,
+  // rate(t) climbs linearly from base*(1-amplitude) at t=0 to
+  // base*(1+amplitude) at t=duration_s.
+  kRamp,
+};
+
+struct TimeVaryingTraceOptions {
+  uint64_t seed = 1;
+  double duration_s = 10;
+  TimeVaryingShape shape = TimeVaryingShape::kSinusoid;
+  // Mean arrival rate, jobs/sec, and the swing around it (in [0, 1]).
+  double base_rate = 100;
+  double amplitude = 0.8;
+  double period_s = 2;  // sinusoid only
+  double pin_fraction = 0;
+  int num_hosts = 1;
+};
+
+// Open-loop arrivals whose rate varies over the trace window — the
+// diurnal/spike shapes a streaming or online-inference front door
+// sees. Implemented as a thinned non-homogeneous Poisson process
+// (candidates at the peak rate, accepted with probability
+// rate(t)/peak), so the instantaneous rate tracks the shape exactly
+// in expectation.
+ArrivalTrace MakeTimeVaryingTrace(std::vector<TraceJobClass> classes,
+                                  const TimeVaryingTraceOptions& options);
 
 }  // namespace fleet
 }  // namespace plumber

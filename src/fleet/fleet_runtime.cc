@@ -25,6 +25,7 @@ struct FleetJobRecord {
   int host = -1;            // set at dispatch
   bool stolen = false;
   int64_t dispatch_ns = 0;
+  uint64_t transfer_bytes = 0;  // wire bytes paid to move this job
   runtime::JobPtr job;      // non-null once dispatched
   Status dispatch_status;   // non-OK if shutdown beat dispatch
   bool terminal = false;    // dispatched or dispatch-failed
@@ -78,6 +79,7 @@ FleetJobStats FleetJobHandle::Stats() const {
     stats.host = record_->host;
     stats.stolen = record_->stolen;
     stats.slo = record_->options.slo;
+    stats.transfer_bytes = record_->transfer_bytes;
     if (record_->dispatch_ns > 0) {
       stats.fleet_queue_s =
           (record_->dispatch_ns - record_->submit_ns) * 1e-9;
@@ -102,6 +104,10 @@ FleetRuntime::FleetRuntime(
   if (options_.hosts.empty()) options_.hosts.push_back(MachineSpec{});
   options_.host_concurrent_jobs = std::max(1, options_.host_concurrent_jobs);
   options_.dispatch_depth = std::max(0, options_.dispatch_depth);
+  nics_.reserve(options_.hosts.size());
+  for (const MachineSpec& machine : options_.hosts) {
+    nics_.push_back(std::make_unique<NetworkDevice>(machine.nic));
+  }
   executors_.reserve(options_.hosts.size());
   for (size_t h = 0; h < options_.hosts.size(); ++h) {
     runtime::ExecutorOptions eopts;
@@ -110,7 +116,15 @@ FleetRuntime::FleetRuntime(
     eopts.admission = options_.admission;
     const int host = static_cast<int>(h);
     executors_.push_back(std::make_unique<runtime::Executor>(
-        [this, host] { return pipeline_options_(host); },
+        [this, host] {
+          // Overlay the host's own NIC so every pipeline the executor
+          // instantiates meters remote reads through it — the same
+          // device the migration path charges, so one counter pair
+          // tells the whole per-host network story.
+          PipelineOptions popts = pipeline_options_(host);
+          popts.nic = nics_[host].get();
+          return popts;
+        },
         [this, host] { return options_.hosts[host]; }, eopts));
   }
   queues_.resize(options_.hosts.size());
@@ -270,7 +284,17 @@ int FleetRuntime::LeastLoadedLocked() const {
   return best;
 }
 
-void FleetRuntime::DispatchLocked(RecordPtr record, int host) {
+void FleetRuntime::DispatchLocked(RecordPtr record, int host, int from) {
+  uint64_t payload = 0;
+  if (from >= 0 && from != host) {
+    // Migration is not free: the serialized program crosses the wire
+    // from the host that held it to the one that runs it, paying both
+    // endpoints' NIC latency and bandwidth before the job can start.
+    payload = record->graph.Serialize().size();
+    nics_[from]->Transfer(payload);
+    nics_[host]->Transfer(payload);
+    transfer_bytes_.fetch_add(payload, std::memory_order_relaxed);
+  }
   runtime::JobPtr job =
       executors_[host]->Submit(record->graph, record->options);
   const bool interactive =
@@ -278,6 +302,7 @@ void FleetRuntime::DispatchLocked(RecordPtr record, int host) {
   {
     std::lock_guard<std::mutex> rlock(record->mu);
     record->host = host;
+    record->transfer_bytes = payload;
     record->dispatch_ns = WallNanos();
     record->job = std::move(job);
     record->terminal = true;
@@ -342,7 +367,7 @@ void FleetRuntime::PumpLoop() {
             record->stolen = true;
           }
           steal_count_.fetch_add(1, std::memory_order_relaxed);
-          DispatchLocked(std::move(record), h);
+          DispatchLocked(std::move(record), h, /*from=*/victim);
           ++snap.queued_jobs;
         }
       }

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/net/network_device.h"
 #include "src/runtime/executor.h"
 
 namespace plumber {
@@ -89,6 +90,9 @@ struct FleetJobStats {
   double run_s = 0;
   double completion_s = 0;  // fleet_queue + exec_queue + run
   int64_t elements = 0;
+  // Serialized program bytes moved across the wire when this job was
+  // re-routed off the host that held it (0 when it ran where queued).
+  uint64_t transfer_bytes = 0;
 };
 
 namespace internal {
@@ -154,6 +158,14 @@ class FleetRuntime {
   int64_t steal_count() const {
     return steal_count_.load(std::memory_order_relaxed);
   }
+  // This host's modeled NIC (never null): remote_read wire bytes and
+  // migration payloads all land on its counters, so per-host network
+  // utilization comes from one place.
+  NetworkDevice* host_nic(int host) const { return nics_[host].get(); }
+  // Total serialized program bytes moved between hosts by stealing.
+  uint64_t transfer_bytes() const {
+    return transfer_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   using RecordPtr = std::shared_ptr<internal::FleetJobRecord>;
@@ -169,11 +181,18 @@ class FleetRuntime {
   // Sweeps dispatched interactive jobs whose queueing has ended into
   // the per-host latency windows (mu_ held).
   void SampleInteractiveLatencyLocked();
-  // Hands one queued record to a host's executor (mu_ held).
-  void DispatchLocked(RecordPtr record, int host);
+  // Hands one queued record to a host's executor (mu_ held). A
+  // non-negative `from` different from `host` means the job is
+  // migrating: its serialized graph is charged through both endpoints'
+  // NICs before it runs.
+  void DispatchLocked(RecordPtr record, int host, int from = -1);
 
   FleetOptions options_;
   const std::function<PipelineOptions(int host)> pipeline_options_;
+  // Per-host NICs, built from hosts[h].nic; declared before the
+  // executors so running pipelines (which borrow the pointers) are
+  // torn down first.
+  std::vector<std::unique_ptr<NetworkDevice>> nics_;
   std::vector<std::unique_ptr<runtime::Executor>> executors_;
 
   mutable std::mutex mu_;
@@ -183,6 +202,7 @@ class FleetRuntime {
   int rr_next_ = 0;
   std::vector<std::deque<RecordPtr>> queues_;  // per-host, stealable
   std::atomic<int64_t> steal_count_{0};
+  std::atomic<uint64_t> transfer_bytes_{0};
   // Interactive jobs dispatched but not yet sampled: once a job's
   // driver starts (queueing over), its fleet+executor queue latency
   // lands in its host's sliding window below and it leaves this list.

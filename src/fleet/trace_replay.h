@@ -42,13 +42,28 @@ struct FleetClassLatency {
   double p50_queue_s = 0, p95_queue_s = 0;
   double p50_completion_s = 0, p95_completion_s = 0;
   double mean_completion_s = 0;
+  // Deadline scoring for the slice of this class's jobs that carried a
+  // latency target (trace classes with latency_target_s > 0):
+  // attainment = completed within target / jobs with a target, and
+  // shed_jobs counts admissions the executors refused because the
+  // deadline was already hopeless. 0/0 attainment reports as 1.
+  int64_t target_jobs = 0;
+  int64_t shed_jobs = 0;
+  double attainment = 1.0;
+  // Smallest target among this class's trace classes (reporting aid).
+  double latency_target_s = 0;
 };
 
 struct FleetReport {
   int num_hosts = 0;
   int64_t num_jobs = 0;
   int64_t failed_jobs = 0;
+  // Jobs the executors refused to run because their deadline was
+  // already unmeetable at dispatch (not counted in failed_jobs).
+  int64_t shed_jobs = 0;
   int64_t steal_count = 0;
+  // Serialized program bytes moved between hosts by work stealing.
+  uint64_t transfer_bytes = 0;
   double makespan_s = 0;  // first submit -> last completion
   // Queue latency = fleet queue + executor queue (submit -> running).
   double p50_queue_s = 0, p95_queue_s = 0, p99_queue_s = 0;
@@ -62,6 +77,13 @@ struct FleetReport {
   // core-weighted fleet mean.
   std::vector<double> host_utilization;
   double mean_utilization = 0;
+  // Modeled NIC busy fraction per host over the makespan — bytes the
+  // host's NetworkDevice carried during the replay divided by
+  // (makespan x NIC bandwidth); 0 for unlimited NICs. Sits next to
+  // host_utilization so a network-bound fleet is as visible as a
+  // CPU-bound one.
+  std::vector<double> host_network_utilization;
+  double mean_network_utilization = 0;
 
   std::string ToString() const;
 };

@@ -1,0 +1,63 @@
+#include "src/net/network_device.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/cpu_timer.h"
+
+namespace plumber {
+
+NicSpec NicSpec::Unlimited() { return NicSpec{}; }
+
+NicSpec NicSpec::Gigabit() {
+  NicSpec s;
+  s.name = "1gbe";
+  s.max_bandwidth = 125e6;
+  s.latency_s = 100e-6;
+  return s;
+}
+
+NicSpec NicSpec::TenGigabit() {
+  NicSpec s;
+  s.name = "10gbe";
+  s.max_bandwidth = 1.25e9;
+  s.latency_s = 50e-6;
+  return s;
+}
+
+NicSpec NicSpec::TokenBucketLimit(double bytes_per_sec) {
+  NicSpec s;
+  s.name = "token_bucket";
+  s.max_bandwidth = bytes_per_sec;
+  return s;
+}
+
+NetworkDevice::NetworkDevice(NicSpec spec)
+    : spec_(std::move(spec)),
+      // Small burst (20ms of tokens) so short probes measure the
+      // sustained rate, not the bucket's initial fill — same policy as
+      // StorageDevice.
+      bucket_(spec_.max_bandwidth, spec_.max_bandwidth * 0.02) {}
+
+void NetworkDevice::Transfer(uint64_t bytes) {
+  if (spec_.latency_s > 0) {
+    BlockedRegion blocked;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec_.latency_s));
+  }
+  bucket_.Acquire(static_cast<double>(bytes));
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_transfers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetworkDevice::SetBandwidth(double bytes_per_sec) {
+  spec_.max_bandwidth = bytes_per_sec;
+  bucket_.SetRate(bytes_per_sec);
+}
+
+void NetworkDevice::ResetCounters() {
+  total_bytes_.store(0, std::memory_order_relaxed);
+  total_transfers_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace plumber

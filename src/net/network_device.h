@@ -1,0 +1,68 @@
+// Simulated network interfaces.
+//
+// A NetworkDevice models a host NIC the same way src/io models storage:
+// an aggregate bandwidth cap enforced by a token bucket, a fixed
+// per-transfer latency, and exact byte/transfer counters. It is the
+// resource behind the `remote_read` source op (both endpoints' NICs are
+// charged for every record that crosses the wire) and behind fleet-level
+// job migration (work stealing charges the serialized graph payload
+// through the victim's and the thief's NICs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/io/token_bucket.h"
+
+namespace plumber {
+
+struct NicSpec {
+  std::string name = "unlimited";
+  // Aggregate bandwidth cap in bytes/sec; 0 = unlimited.
+  double max_bandwidth = 0;
+  // Fixed latency charged per transfer, seconds.
+  double latency_s = 0;
+
+  // Unlimited NIC: transfers are free (the default, so existing
+  // machines behave exactly as before the network model existed).
+  static NicSpec Unlimited();
+  // ~125 MB/s: commodity gigabit Ethernet.
+  static NicSpec Gigabit();
+  // ~1.25 GB/s: datacenter 10GbE.
+  static NicSpec TenGigabit();
+  // Bare token-bucket cap for bandwidth sweeps.
+  static NicSpec TokenBucketLimit(double bytes_per_sec);
+};
+
+class NetworkDevice {
+ public:
+  explicit NetworkDevice(NicSpec spec);
+
+  const NicSpec& spec() const { return spec_; }
+
+  // Blocks to charge `bytes` crossing this NIC: the fixed per-transfer
+  // latency (a modeled block, excluded from CPU attribution) followed
+  // by token-bucket pacing, then accounts the transfer. Mirrors
+  // StorageDevice::Charge.
+  void Transfer(uint64_t bytes);
+
+  // Changes the aggregate bandwidth cap (bandwidth sweeps).
+  void SetBandwidth(double bytes_per_sec);
+
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_transfers() const {
+    return total_transfers_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+ private:
+  NicSpec spec_;
+  TokenBucket bucket_;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_transfers_{0};
+};
+
+}  // namespace plumber

@@ -66,8 +66,8 @@ bool OpSupportsParallelism(const std::string& op) {
 }
 
 bool OpIsSource(const std::string& op) {
-  return op == "tfrecord" || op == "interleave" || op == "range" ||
-         op == "file_list";
+  return op == "tfrecord" || op == "remote_read" || op == "interleave" ||
+         op == "range" || op == "file_list";
 }
 
 int GraphEngineBatchSize(const GraphDef& graph) {
@@ -85,6 +85,7 @@ StatusOr<DatasetPtr> InstantiateGraph(const GraphDef& graph,
       {"range", &MakeRangeDataset},
       {"file_list", &MakeFileListDataset},
       {"tfrecord", &MakeTfRecordDataset},
+      {"remote_read", &MakeRemoteReadDataset},
       {"interleave", &MakeInterleaveDataset},
       {"map", &MakeMapDataset},
       {"filter", &MakeFilterDataset},

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/io/sim_filesystem.h"
+#include "src/net/network_device.h"
 #include "src/pipeline/element.h"
 #include "src/pipeline/graph_def.h"
 #include "src/pipeline/iterator_stats.h"
@@ -54,6 +55,11 @@ struct PipelineContext {
   // shard_devices->DeviceFor(shard) so every shard gets its own
   // modeled disk. Null = all reads go through fs->device().
   ShardDevicePool* shard_devices = nullptr;
+  // This host's NIC (src/net): remote_read charges every record's bytes
+  // through it (the receive side of the wire), in addition to the
+  // remote endpoint's NIC. Null = the local endpoint is unmetered,
+  // matching machines that never set MachineSpec::nic.
+  NetworkDevice* nic = nullptr;
   // Engine batch size: how many elements parallel operators claim from
   // their input and hand off through their queues per lock acquisition.
   // 1 (the default) is element-at-a-time execution, identical to the

@@ -39,6 +39,19 @@ std::string GraphBuilder::TfRecord(const std::string& name,
   return Add(std::move(def));
 }
 
+std::string GraphBuilder::RemoteRead(const std::string& name,
+                                     const std::string& input,
+                                     double remote_nic_bandwidth,
+                                     double remote_nic_latency) {
+  NodeDef def;
+  def.name = name;
+  def.op = "remote_read";
+  def.inputs = {input};
+  def.attrs[kAttrRemoteNicBandwidth] = AttrValue(remote_nic_bandwidth);
+  def.attrs[kAttrRemoteNicLatency] = AttrValue(remote_nic_latency);
+  return Add(std::move(def));
+}
+
 std::string GraphBuilder::Interleave(const std::string& name,
                                      const std::string& input,
                                      int cycle_length, int parallelism,

@@ -14,6 +14,14 @@ class GraphBuilder {
   std::string Range(const std::string& name, int64_t count);
   std::string FileList(const std::string& name, const std::string& prefix);
   std::string TfRecord(const std::string& name, const std::string& input);
+  // A record reader whose files live on a remote host: same elements
+  // as TfRecord over the same file list, but every wire byte is
+  // metered through a modeled remote NIC (bandwidth bytes/sec, 0 =
+  // unlimited; latency seconds per transfer) and the local
+  // PipelineContext NIC when one is attached.
+  std::string RemoteRead(const std::string& name, const std::string& input,
+                         double remote_nic_bandwidth = 0,
+                         double remote_nic_latency = 0);
   std::string Interleave(const std::string& name, const std::string& input,
                          int cycle_length, int parallelism,
                          int block_length = 1);

@@ -7,6 +7,8 @@
 // drives the parallelism->bandwidth curve for throttled storage.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <optional>
 #include <thread>
@@ -128,34 +130,53 @@ class SequentialInterleaveIterator : public IteratorBase {
 // records and hands it off in one PushBatch, and the consumer drains
 // whole batches per queue lock; batch size 1 is the classic
 // record-at-a-time handoff.
+//
+// The reader pool is retargetable while running, the same protocol as
+// ParallelMapIterator: with a ParallelismGovernor attached the iterator
+// registers a resize listener; workers whose index is at or above the
+// live target park off the input lock (at file boundaries — a reader
+// always finishes the file it holds, so no records are stranded), and
+// Resize() wakes parked workers or spawns new ones up to the target.
+// File-to-worker assignment is already nondeterministic, so a resize
+// history changes element order but never the element multiset.
 class ParallelInterleaveIterator : public IteratorBase {
  public:
   ParallelInterleaveIterator(PipelineContext* ctx, IteratorStats* stats,
                              std::unique_ptr<IteratorBase> input,
-                             int parallelism, StorageDevice* shard_device)
+                             int parallelism, int initial_target,
+                             StorageDevice* shard_device)
       : IteratorBase(ctx, stats), input_(std::move(input)),
-        parallelism_(parallelism), shard_device_(shard_device),
-        // Fixed reader pool (never governor-retargeted); parallel mode
-        // implies >= 2 readers, so the factory keeps this edge MPMC.
-        // Capacity absorbs at least two engine batches so a requested
-        // batch size is never clamped by the channel.
+        configured_(parallelism), shard_device_(shard_device),
+        // Parallel mode implies >= 2 readers (and a governor can grow
+        // the pool), so the factory keeps this edge MPMC. Capacity
+        // absorbs at least two engine batches so a requested batch size
+        // is never clamped by the channel.
         queue_(MakeEdgeChannel<Item>(
-            EdgeTopology{parallelism, 1, false},
+            EdgeTopology{std::max(parallelism, initial_target), 1,
+                         ctx->governor != nullptr},
             static_cast<size_t>(
-                std::max(parallelism * 4,
+                std::max(std::max(parallelism, initial_target) * 4,
                          2 * std::max(1, ctx->engine_batch_size))))),
         batch_size_(
             ClampBatchToCapacity(ctx->engine_batch_size, queue_->capacity())),
         consumer_(queue_.get(), batch_size_) {
-    stats_->SetParallelism(parallelism_);
-    active_workers_.store(parallelism_);
-    workers_.reserve(parallelism_);
-    for (int i = 0; i < parallelism_; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+    stats_->SetParallelism(initial_target);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      target_.store(initial_target, std::memory_order_relaxed);
+      SpawnLocked(initial_target);
+    }
+    if (ctx_->governor != nullptr) {
+      governor_id_ = ctx_->governor->Register(
+          stats_->name(), configured_, [this](int t) { Resize(t); });
     }
   }
 
   ~ParallelInterleaveIterator() override {
+    // Unregister first: after this returns no Resize callback can run,
+    // so the worker vector is stable for the joins below.
+    if (ctx_->governor != nullptr) ctx_->governor->Unregister(governor_id_);
+    SignalDone();
     queue_->Cancel();
     {
       std::lock_guard<std::mutex> lock(input_mu_);
@@ -193,7 +214,52 @@ class ParallelInterleaveIterator : public IteratorBase {
     bool end = false;
   };
 
-  void WorkerLoop() {
+  // Grows or shrinks the live worker target. Called from the
+  // governor's SetTarget (under the governor lock); never runs
+  // concurrently with the destructor, which unregisters first.
+  void Resize(int target) {
+    target = std::max(1, target);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      target_.store(target, std::memory_order_relaxed);
+      // No new workers once the file list finished: they would exit
+      // immediately and could double-push the end sentinel.
+      if (!done_.load(std::memory_order_acquire)) SpawnLocked(target);
+    }
+    park_cv_.notify_all();
+    stats_->SetParallelism(target);
+  }
+
+  void SpawnLocked(int target) {
+    while (static_cast<int>(workers_.size()) < target) {
+      const int index = static_cast<int>(workers_.size());
+      active_workers_.fetch_add(1);
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
+    }
+  }
+
+  // Marks the file list finished and wakes parked workers so they can
+  // exit (and release the end sentinel).
+  void SignalDone() {
+    done_.store(true, std::memory_order_release);
+    park_cv_.notify_all();
+  }
+
+  // Blocks while this worker's slot is above the live target. Returns
+  // false when the worker should exit instead of claiming. Cancellation
+  // has no wakeup channel into the park, so re-check on a short tick.
+  bool ParkUntilActive(int index) {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    for (;;) {
+      if (done_.load(std::memory_order_acquire) || ctx_->is_cancelled()) {
+        return false;
+      }
+      if (index < target_.load(std::memory_order_relaxed)) return true;
+      park_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  void WorkerLoop(int index) {
     std::vector<Item> pending;
     pending.reserve(batch_size_);
     size_t last_payload_bytes = 64;
@@ -207,15 +273,23 @@ class ParallelInterleaveIterator : public IteratorBase {
     };
     for (;;) {
       if (ctx_->is_cancelled()) break;
+      if (index >= target_.load(std::memory_order_relaxed) &&
+          !ParkUntilActive(index)) {
+        break;
+      }
       std::string name;
       bool done = false;
       Status status;
       {
         std::lock_guard<std::mutex> lock(input_mu_);
-        if (files_done_) break;
-        status = NextFilename(input_.get(), stats_, &name, &done);
-        if (!status.ok() || done) files_done_ = true;
+        if (files_done_) {
+          done = true;
+        } else {
+          status = NextFilename(input_.get(), stats_, &name, &done);
+          if (!status.ok() || done) files_done_ = true;
+        }
       }
+      if (!status.ok() || done) SignalDone();
       if (!status.ok()) {
         pending.push_back(Item{{}, status, false});
         flush();
@@ -274,7 +348,7 @@ class ParallelInterleaveIterator : public IteratorBase {
   }
 
   std::unique_ptr<IteratorBase> input_;
-  const int parallelism_;
+  const int configured_;
   StorageDevice* shard_device_;  // null = the filesystem's device
 
   std::mutex input_mu_;
@@ -284,6 +358,13 @@ class ParallelInterleaveIterator : public IteratorBase {
   const size_t batch_size_;
   std::atomic<int> active_workers_{0};
   std::atomic<uint64_t> sequence_{0};
+  // Live worker control: workers_ grows under park_mu_ (Resize), never
+  // shrinks until destruction; workers indexed >= target_ park.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> target_{0};
+  std::atomic<bool> done_{false};
+  uint64_t governor_id_ = 0;
   std::vector<std::thread> workers_;
 
   // Consumer-side batch buffer (accessed only from GetNext).
@@ -307,8 +388,16 @@ StatusOr<std::unique_ptr<IteratorBase>> InterleaveDataset::MakeIterator(
         ctx, stats, std::move(input), cycle_length(), block_length(),
         shard_device));
   }
+  // A published governor target (multi-tenant grant) bounds the live
+  // reader count from the start; the graph attr stays the configured
+  // demand a later resize can grow back to.
+  int initial = p;
+  if (ctx->governor != nullptr) {
+    const int t = ctx->governor->Target(def_.name);
+    if (t > 0) initial = t;
+  }
   return std::unique_ptr<IteratorBase>(new ParallelInterleaveIterator(
-      ctx, stats, std::move(input), p, shard_device));
+      ctx, stats, std::move(input), p, initial, shard_device));
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ void IteratorStats::Reset() {
     s.elements_consumed.store(0, std::memory_order_relaxed);
     s.bytes_produced.store(0, std::memory_order_relaxed);
     s.bytes_read.store(0, std::memory_order_relaxed);
+    s.network_bytes.store(0, std::memory_order_relaxed);
     s.cpu_ns.store(0, std::memory_order_relaxed);
     s.cached_bytes.store(0, std::memory_order_relaxed);
   }
@@ -55,6 +56,7 @@ std::vector<IteratorStatsSnapshot> StatsRegistry::Snapshot() const {
     snap.elements_consumed = s->elements_consumed();
     snap.bytes_produced = s->bytes_produced();
     snap.bytes_read = s->bytes_read();
+    snap.network_bytes = s->network_bytes();
     snap.cpu_ns = s->cpu_ns();
     snap.parallelism = s->parallelism();
     snap.udf_name = s->udf_name();

@@ -60,6 +60,10 @@ class IteratorStats {
   void AddBytesRead(uint64_t bytes) {
     LocalShard().bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   }
+  // Bytes this iterator moved across the modeled network (remote_read).
+  void AddNetworkBytes(uint64_t bytes) {
+    LocalShard().network_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
   void SetParallelism(int p) {
     parallelism_.store(p, std::memory_order_relaxed);
   }
@@ -82,6 +86,7 @@ class IteratorStats {
   }
   uint64_t bytes_produced() const { return Sum(&Shard::bytes_produced); }
   uint64_t bytes_read() const { return Sum(&Shard::bytes_read); }
+  uint64_t network_bytes() const { return Sum(&Shard::network_bytes); }
   int64_t cpu_ns() const { return SumSigned(&Shard::cpu_ns); }
   int parallelism() const {
     return parallelism_.load(std::memory_order_relaxed);
@@ -98,12 +103,13 @@ class IteratorStats {
   void Reset();
 
  private:
-  // One cache line per shard: six 8-byte counters + padding.
+  // One cache line per shard: seven 8-byte counters + padding.
   struct alignas(64) Shard {
     std::atomic<uint64_t> elements_produced{0};
     std::atomic<uint64_t> elements_consumed{0};
     std::atomic<uint64_t> bytes_produced{0};
     std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> network_bytes{0};
     std::atomic<int64_t> cpu_ns{0};
     std::atomic<int64_t> cached_bytes{0};
   };
@@ -143,6 +149,7 @@ struct IteratorStatsSnapshot {
   uint64_t elements_consumed = 0;
   uint64_t bytes_produced = 0;
   uint64_t bytes_read = 0;
+  uint64_t network_bytes = 0;
   int64_t cpu_ns = 0;
   int parallelism = 1;
   std::string udf_name;

@@ -4,6 +4,10 @@
 //   range              count:int (-1 = infinite)
 //   file_list          prefix:string (lists SimFilesystem files)
 //   tfrecord           input: file_list; sequential record reader
+//   remote_read        input: file_list; tfrecord semantics, but every
+//                      record is also charged through the remote host's
+//                      NIC (remote_nic_bandwidth/remote_nic_latency
+//                      attrs) and this host's NIC (PipelineContext::nic)
 //   interleave         input: file_list; cycle_length:int, block_length:int,
 //                      parallelism:int — parallel record readers
 //   map                input; udf:string, parallelism:int (1 = sequential),
@@ -48,6 +52,9 @@ StatusOr<DatasetPtr> MakeFileListDataset(NodeDef def,
 StatusOr<DatasetPtr> MakeTfRecordDataset(NodeDef def,
                                          std::vector<DatasetPtr> inputs,
                                          PipelineContext* ctx);
+StatusOr<DatasetPtr> MakeRemoteReadDataset(NodeDef def,
+                                           std::vector<DatasetPtr> inputs,
+                                           PipelineContext* ctx);
 StatusOr<DatasetPtr> MakeInterleaveDataset(NodeDef def,
                                            std::vector<DatasetPtr> inputs,
                                            PipelineContext* ctx);
@@ -131,6 +138,12 @@ inline constexpr char kAttrCacheTier[] = "cache_tier";
 // against shard_devices->DeviceFor(shard_index).
 inline constexpr char kAttrShardIndex[] = "shard_index";
 inline constexpr char kAttrShardCount[] = "shard_count";
+// remote_read's modeled remote endpoint: the serving host's NIC
+// bandwidth (bytes/sec, 0 = unlimited) and fixed per-record latency
+// (seconds). Attributes, not session state, so the remote environment
+// travels with the serialized program.
+inline constexpr char kAttrRemoteNicBandwidth[] = "remote_nic_bandwidth";
+inline constexpr char kAttrRemoteNicLatency[] = "remote_nic_latency";
 
 // The per-shard storage device a reader under `def` should charge, or
 // null to use the filesystem's attached device (unsharded sources, or

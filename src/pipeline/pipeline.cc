@@ -33,6 +33,7 @@ Pipeline::Pipeline(GraphDef graph, const PipelineOptions& options)
     ctx_.scratch_device = scratch_device_.get();
   }
   ctx_.scratch_budget_bytes = options.scratch_budget_bytes;
+  ctx_.nic = options.nic;
   // Per-shard source disks, cloned from the filesystem's attached
   // device: a shard-split source reads each partition at the full
   // modeled device bandwidth (that is what sharding across disks buys).

@@ -38,6 +38,10 @@ struct PipelineOptions {
   // metered through it (see PipelineContext::scratch_device).
   DeviceSpec scratch = DeviceSpec::Unlimited();
   uint64_t scratch_budget_bytes = 0;
+  // This host's NIC, borrowed like `fs` so a Session or FleetRuntime
+  // can share one device (and its byte counters) across pipelines.
+  // Null = local transfers are unmetered (no network model).
+  NetworkDevice* nic = nullptr;
 };
 
 class Pipeline {

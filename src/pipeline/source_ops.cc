@@ -228,6 +228,122 @@ StatusOr<std::unique_ptr<IteratorBase>> TfRecordDataset::MakeIterator(
       ctx, StatsFor(ctx), std::move(input), shard_device));
 }
 
+// ----------------------------------------------------------- remote_read
+// Like tfrecord, but the files live on a remote host: every record's
+// bytes are metered through the remote host's storage device (the
+// filesystem/shard device, exactly as a local read would be), then
+// through the remote host's NIC (owned by the dataset, modeled from the
+// node's remote-NIC attrs), then through this host's NIC (ctx->nic).
+// Element content and order are identical to a local tfrecord read —
+// the network model only adds time and accounting.
+class RemoteReadDataset : public DatasetBase {
+ public:
+  RemoteReadDataset(NodeDef def, std::vector<DatasetPtr> inputs,
+                    PipelineContext* ctx)
+      : DatasetBase(std::move(def), std::move(inputs)) {
+    NicSpec remote;
+    remote.name = "remote";
+    remote.max_bandwidth = def_.GetDouble(kAttrRemoteNicBandwidth, 0);
+    remote.latency_s = def_.GetDouble(kAttrRemoteNicLatency, 0);
+    remote_nic_ = std::make_unique<NetworkDevice>(remote);
+    if (auto* fl = dynamic_cast<const FileListDataset*>(inputs_[0].get())) {
+      int64_t total = 0;
+      for (const auto& f : fl->files()) {
+        const SimFileMeta* meta = ctx->fs->FindMeta(f);
+        if (meta == nullptr) {
+          total = kUnknownCardinality;
+          break;
+        }
+        total += static_cast<int64_t>(meta->NumRecords());
+      }
+      cardinality_ = total;
+    }
+  }
+
+  int64_t Cardinality() const override { return cardinality_; }
+
+  NetworkDevice* remote_nic() const { return remote_nic_.get(); }
+
+  StatusOr<std::unique_ptr<IteratorBase>> MakeIterator(
+      PipelineContext* ctx) const override;
+
+ private:
+  // The remote endpoint's NIC: shared by every iterator of this dataset
+  // (all readers of one remote source contend for one remote uplink).
+  std::unique_ptr<NetworkDevice> remote_nic_;
+  int64_t cardinality_ = kUnknownCardinality;
+};
+
+class RemoteReadIterator : public IteratorBase {
+ public:
+  RemoteReadIterator(PipelineContext* ctx, IteratorStats* stats,
+                     std::unique_ptr<IteratorBase> input,
+                     StorageDevice* shard_device, NetworkDevice* remote_nic)
+      : IteratorBase(ctx, stats), input_(std::move(input)),
+        shard_device_(shard_device), remote_nic_(remote_nic) {}
+
+ protected:
+  Status GetNextInternal(Element* out, bool* end) override {
+    for (;;) {
+      if (reader_ == nullptr) {
+        Element filename_elem;
+        bool files_end = false;
+        RETURN_IF_ERROR(input_->GetNext(&filename_elem, &files_end));
+        if (files_end) {
+          *end = true;
+          return OkStatus();
+        }
+        stats_->RecordConsumed();
+        const std::string name(filename_elem.components[0].begin(),
+                               filename_elem.components[0].end());
+        if (shard_device_ != nullptr) {
+          ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name, shard_device_));
+        } else {
+          ASSIGN_OR_RETURN(reader_, ctx_->fs->OpenRecord(name));
+        }
+      }
+      Buffer payload = BufferPool::Get()->Acquire(last_payload_bytes_);
+      bool file_end = false;
+      RETURN_IF_ERROR(reader_->ReadRecord(&payload, &file_end));
+      if (file_end) {
+        BufferPool::Get()->Release(std::move(payload));
+        reader_.reset();
+        continue;
+      }
+      last_payload_bytes_ = payload.size();
+      const uint64_t wire_bytes = payload.size() + kRecordFramingBytes;
+      stats_->AddBytesRead(wire_bytes);
+      // The record crosses the wire once; both endpoints' NICs carry it.
+      remote_nic_->Transfer(wire_bytes);
+      if (ctx_->nic != nullptr) ctx_->nic->Transfer(wire_bytes);
+      stats_->AddNetworkBytes(wire_bytes);
+      *out = Element::FromBuffer(std::move(payload), sequence_++);
+      *end = false;
+      return OkStatus();
+    }
+  }
+
+ private:
+  std::unique_ptr<IteratorBase> input_;
+  StorageDevice* shard_device_;  // null = the filesystem's device
+  NetworkDevice* remote_nic_;
+  std::unique_ptr<RecordReader> reader_;
+  uint64_t sequence_ = 0;
+  size_t last_payload_bytes_ = 64;
+};
+
+StatusOr<std::unique_ptr<IteratorBase>> RemoteReadDataset::MakeIterator(
+    PipelineContext* ctx) const {
+  ASSIGN_OR_RETURN(auto input, inputs_[0]->MakeIterator(ctx));
+  StorageDevice* shard_device = ShardDeviceFor(def_, ctx);
+  if (shard_device == nullptr) {
+    shard_device = ShardDeviceFor(inputs_[0]->def(), ctx);
+  }
+  return std::unique_ptr<IteratorBase>(
+      new RemoteReadIterator(ctx, StatsFor(ctx), std::move(input),
+                             shard_device, remote_nic_.get()));
+}
+
 }  // namespace
 
 StatusOr<DatasetPtr> MakeRangeDataset(NodeDef def,
@@ -261,6 +377,19 @@ StatusOr<DatasetPtr> MakeTfRecordDataset(NodeDef def,
   }
   return DatasetPtr(
       new TfRecordDataset(std::move(def), std::move(inputs), ctx));
+}
+
+StatusOr<DatasetPtr> MakeRemoteReadDataset(NodeDef def,
+                                           std::vector<DatasetPtr> inputs,
+                                           PipelineContext* ctx) {
+  if (inputs.size() != 1) {
+    return InvalidArgumentError("remote_read takes one input");
+  }
+  if (ctx->fs == nullptr) {
+    return FailedPreconditionError("remote_read requires a filesystem");
+  }
+  return DatasetPtr(
+      new RemoteReadDataset(std::move(def), std::move(inputs), ctx));
 }
 
 }  // namespace plumber

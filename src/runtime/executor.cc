@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "src/core/multi_job_planner.h"
 #include "src/core/rewriter.h"
@@ -71,17 +72,30 @@ JobPtr Executor::Submit(GraphDef graph, JobOptions options) {
   return job;
 }
 
+int64_t Executor::DeadlineNs(const Job& job) {
+  const double target = job.options().latency_target_s;
+  if (target <= 0) return std::numeric_limits<int64_t>::max();
+  return job.submit_ns_ + static_cast<int64_t>(target * 1e9);
+}
+
 void Executor::EnqueuePendingLocked(JobPtr job) {
   auto pos = pending_.end();
   if (options_.slo_preemption) {
     // Class-ordered queue: ahead of the first queued job in a lower
-    // tier (higher ordinal), behind every same-or-better-tier job —
-    // FIFO within a class.
+    // tier (higher ordinal), behind every same-or-better-tier job.
+    // Within a class, earliest-deadline-first: a job with a
+    // latency_target_s slots ahead of any same-class job due later
+    // (deadline-free jobs score +inf, so they stay FIFO at the back of
+    // their class and never reorder among themselves).
     const int tier = static_cast<int>(job->options().slo);
-    pos = std::find_if(pending_.begin(), pending_.end(),
-                       [tier](const JobPtr& queued) {
-                         return static_cast<int>(queued->options().slo) > tier;
-                       });
+    const int64_t deadline = DeadlineNs(*job);
+    pos = std::find_if(
+        pending_.begin(), pending_.end(),
+        [tier, deadline](const JobPtr& queued) {
+          const int queued_tier = static_cast<int>(queued->options().slo);
+          if (queued_tier != tier) return queued_tier > tier;
+          return DeadlineNs(*queued) > deadline;
+        });
   }
   pending_.insert(pos, std::move(job));
 }
@@ -193,11 +207,22 @@ void Executor::SchedulerLoop() {
     JoinFinishedDriversLocked();
     if (stop_) return;
     // Sweep queued cancellations so a Cancel before admission doesn't
-    // sit behind the concurrency cap forever.
+    // sit behind the concurrency cap forever, and shed queued jobs
+    // whose completion deadline has already passed: running one can
+    // only miss harder while starving jobs that can still make it.
+    const int64_t now_ns = WallNanos();
     for (auto it = pending_.begin(); it != pending_.end();) {
       if ((*it)->cancel_requested_.load(std::memory_order_acquire)) {
         FinishWithoutRunning(it->get(), JobPhase::kCancelled,
                              CancelledError("cancelled before admission"));
+        it = pending_.erase(it);
+      } else if (DeadlineNs(**it) <= now_ns) {
+        FinishWithoutRunning(
+            it->get(), JobPhase::kFailed,
+            ResourceExhaustedError(
+                "shed before running: latency target of " +
+                std::to_string((*it)->options().latency_target_s) +
+                "s expired in the queue"));
         it = pending_.erase(it);
       } else {
         ++it;

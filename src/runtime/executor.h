@@ -132,9 +132,14 @@ class Executor {
  private:
   void SchedulerLoop();
   // Inserts into pending_ in class-tier order (interactive ahead of
-  // batch ahead of best-effort, FIFO within a class) when
-  // slo_preemption is on; plain FIFO otherwise.
+  // batch ahead of best-effort) when slo_preemption is on; plain FIFO
+  // otherwise. Within a class, jobs with a latency_target_s run
+  // earliest-deadline-first ahead of deadline-free jobs, which keep
+  // FIFO among themselves.
   void EnqueuePendingLocked(JobPtr job);
+  // Absolute completion deadline (submit + latency_target_s) in wall
+  // nanos; int64 max for jobs without a target.
+  static int64_t DeadlineNs(const Job& job);
   // Applies the submitting class's AdmissionPolicy. Returns false when
   // the job was refused (already finished as kFailed).
   bool AdmitToQueueLocked(JobPtr job);

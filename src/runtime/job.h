@@ -57,10 +57,12 @@ struct JobOptions {
   // 3x the rate (and so roughly 3x the cores) of a priority-1 peer.
   // Values <= 0 are treated as 1.
   double priority = 1.0;
-  // Optional completion-latency target in seconds (0 = none). Purely
-  // declarative today: recorded so drivers/reports can score attainment
-  // (e.g. TraceReplayDriver's per-class breakdown); the scheduler does
-  // not use it to order work.
+  // Optional completion-latency target in seconds (0 = none). The
+  // executor acts on it twice: queued jobs of the same SLO class run
+  // earliest-deadline-first (ahead of deadline-free peers), and a
+  // queued job whose deadline has already passed is shed with
+  // kResourceExhausted instead of burning cores on a guaranteed miss.
+  // TraceReplayDriver scores per-class attainment against it.
   double latency_target_s = 0;
 };
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/api/fleet_session.h"
+#include "src/net/network_device.h"
 #include "src/pipeline/ops.h"
 
 namespace plumber {
@@ -143,6 +144,55 @@ TEST(FleetRuntimeTest, WorkStealingRebalancesPinnedBacklog) {
   EXPECT_GT(stolen, 0);
   EXPECT_EQ(stolen, on_host1);  // only steals move a pinned job
   EXPECT_EQ(fleet->runtime().steal_count(), stolen);
+}
+
+TEST(FleetRuntimeTest, StealMigrationChargesTransferThroughBothNics) {
+  // Same pinned-backlog shape as the stealing test, but the hosts have
+  // real NICs: every migration must charge the serialized program
+  // through the victim's and the thief's device, byte for byte.
+  FleetSessionOptions options;
+  for (int h = 0; h < 2; ++h) {
+    MachineSpec machine;
+    machine.num_cores = 4;
+    machine.name = "host" + std::to_string(h);
+    machine.nic = NicSpec::TokenBucketLimit(50e6);
+    options.hosts.push_back(machine);
+  }
+  options.fleet.policy = DispatchPolicy::kLocality;
+  options.fleet.work_stealing = true;
+  FleetSession fleet(std::move(options));
+  UdfSpec work;
+  work.name = "work";
+  work.cost_ns_per_element = 1e6;
+  ASSERT_TRUE(fleet.RegisterUdf(work).ok());
+
+  const uint64_t payload = WorkGraph(40).Serialize().size();
+  ASSERT_GT(payload, 0u);
+  std::vector<FleetJobHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    FleetJobOptions jopts;
+    jopts.pinned_host = 0;
+    handles.push_back(fleet.Submit(WorkGraph(40), jopts));
+  }
+  uint64_t stolen = 0;
+  for (FleetJobHandle& handle : handles) {
+    ASSERT_TRUE(handle.Wait().ok());
+    const FleetJobStats stats = handle.Stats();
+    if (stats.stolen) {
+      ++stolen;
+      EXPECT_EQ(stats.transfer_bytes, payload);
+    } else {
+      EXPECT_EQ(stats.transfer_bytes, 0u);
+    }
+  }
+  ASSERT_GT(stolen, 0u);
+  // Fleet-wide total and the two endpoint NICs agree exactly: these
+  // jobs move no other bytes, so migration is the only NIC traffic.
+  EXPECT_EQ(fleet.runtime().transfer_bytes(), stolen * payload);
+  EXPECT_EQ(fleet.runtime().host_nic(0)->total_bytes(), stolen * payload);
+  EXPECT_EQ(fleet.runtime().host_nic(1)->total_bytes(), stolen * payload);
+  EXPECT_EQ(fleet.runtime().host_nic(0)->total_transfers(), stolen);
+  EXPECT_EQ(fleet.runtime().host_nic(1)->total_transfers(), stolen);
 }
 
 TEST(FleetRuntimeTest, ShutdownFailsUndispatchedJobsCleanly) {

@@ -1,0 +1,110 @@
+// Live retargeting of ParallelInterleave worker pools: a governor can
+// grow and park the reader pool while the pipeline runs, and any
+// resize history must preserve the element multiset (parallel
+// interleave order is nondeterministic, so identity is multiset
+// equality, not sequence equality).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/pipeline/parallelism_governor.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::Drain;
+using testing_util::PipelineTestEnv;
+using testing_util::SizeFingerprint;
+
+GraphDef InterleaveGraph(int parallelism) {
+  GraphBuilder b;
+  return std::move(
+             b.Build(b.Interleave("il", b.FileList("files", "data/"),
+                                  /*cycle_length=*/4, parallelism)))
+      .value();
+}
+
+TEST(InterleaveRetargetTest, GovernorResizePreservesElementMultiset) {
+  // Distinct record sizes per file make the fingerprint sensitive to
+  // lost or duplicated records, not just counts.
+  PipelineTestEnv env(0);
+  int expected = 0;
+  for (int f = 0; f < 6; ++f) {
+    std::vector<uint64_t> sizes(40, 32 + static_cast<uint64_t>(f) * 8);
+    ASSERT_TRUE(
+        env.fs.CreateRecordFile("data/f" + std::to_string(f), f + 1,
+                                std::move(sizes))
+            .ok());
+    expected += 40;
+  }
+  const GraphDef graph = InterleaveGraph(/*parallelism=*/2);
+  auto reference_p =
+      std::move(Pipeline::Create(graph, env.Options())).value();
+  const auto reference = SizeFingerprint(Drain(*reference_p));
+  ASSERT_EQ(reference.size(), static_cast<size_t>(expected));
+
+  PipelineOptions options = env.Options();
+  options.governor = std::make_shared<ParallelismGovernor>();
+  auto pipeline = std::move(Pipeline::Create(graph, options)).value();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    int target = 1;
+    while (!stop.load()) {
+      options.governor->SetTarget("il", target);
+      target = target % 4 + 1;  // 1..4: park below and grow above config
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto retargeted = SizeFingerprint(Drain(*pipeline));
+  stop = true;
+  flipper.join();
+  EXPECT_EQ(reference, retargeted);
+}
+
+TEST(InterleaveRetargetTest, InitialGovernorTargetBoundsThePool) {
+  // A pre-set governor target below the configured parallelism must
+  // start the pool at the target, and the stats must say so.
+  PipelineTestEnv env(4, 25, 64);
+  PipelineOptions options = env.Options();
+  options.governor = std::make_shared<ParallelismGovernor>();
+  options.governor->SetTarget("il", 1);
+  auto pipeline =
+      std::move(Pipeline::Create(InterleaveGraph(/*parallelism=*/3),
+                                 options))
+          .value();
+  ASSERT_EQ(Drain(*pipeline).size(), 100u);
+  for (const auto& s : pipeline->stats().Snapshot()) {
+    if (s.name == "il") EXPECT_EQ(s.parallelism, 1);
+  }
+}
+
+TEST(InterleaveRetargetTest, ParkToZeroTargetClampsToOneWorker) {
+  // Target 0 means "back to configured"; target 1 is the floor. A
+  // brutal flip between them mid-run must still drain every record.
+  PipelineTestEnv env(5, 30, 40);
+  PipelineOptions options = env.Options();
+  options.governor = std::make_shared<ParallelismGovernor>();
+  auto pipeline =
+      std::move(Pipeline::Create(InterleaveGraph(/*parallelism=*/2),
+                                 options))
+          .value();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool park = true;
+    while (!stop.load()) {
+      options.governor->SetTarget("il", park ? 1 : 0);
+      park = !park;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  const auto elems = Drain(*pipeline);
+  stop = true;
+  flipper.join();
+  EXPECT_EQ(elems.size(), 150u);
+}
+
+}  // namespace
+}  // namespace plumber

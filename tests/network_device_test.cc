@@ -1,0 +1,105 @@
+// NetworkDevice unit tests: byte-exact counters, bandwidth pacing via
+// the token bucket, per-transfer latency, and the NicSpec presets.
+#include "src/net/network_device.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/util/cpu_timer.h"
+#include "tests/test_util.h"
+
+namespace plumber {
+namespace {
+
+using testing_util::EventuallyTrue;
+
+TEST(NicSpecTest, PresetsHaveExpectedShapes) {
+  EXPECT_EQ(NicSpec::Unlimited().max_bandwidth, 0);
+  EXPECT_EQ(NicSpec::Unlimited().latency_s, 0);
+  EXPECT_DOUBLE_EQ(NicSpec::Gigabit().max_bandwidth, 125e6);
+  EXPECT_GT(NicSpec::Gigabit().latency_s, 0);
+  EXPECT_DOUBLE_EQ(NicSpec::TenGigabit().max_bandwidth, 1.25e9);
+  EXPECT_DOUBLE_EQ(NicSpec::TokenBucketLimit(5e6).max_bandwidth, 5e6);
+  EXPECT_EQ(NicSpec::TokenBucketLimit(5e6).latency_s, 0);
+}
+
+TEST(NetworkDeviceTest, CountersAreByteExact) {
+  NetworkDevice nic(NicSpec::Unlimited());
+  const std::vector<uint64_t> sizes = {1, 64, 1500, 9000, 123457};
+  uint64_t expected = 0;
+  for (uint64_t bytes : sizes) {
+    nic.Transfer(bytes);
+    expected += bytes;
+  }
+  EXPECT_EQ(nic.total_bytes(), expected);
+  EXPECT_EQ(nic.total_transfers(), sizes.size());
+  nic.ResetCounters();
+  EXPECT_EQ(nic.total_bytes(), 0u);
+  EXPECT_EQ(nic.total_transfers(), 0u);
+}
+
+TEST(NetworkDeviceTest, CountersAreByteExactUnderConcurrency) {
+  NetworkDevice nic(NicSpec::Unlimited());
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&nic, t] {
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        nic.Transfer(static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Sum over threads of thread_count * (t+1).
+  uint64_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += static_cast<uint64_t>(kTransfersPerThread) * (t + 1);
+  }
+  EXPECT_EQ(nic.total_bytes(), expected);
+  EXPECT_EQ(nic.total_transfers(),
+            static_cast<uint64_t>(kThreads) * kTransfersPerThread);
+}
+
+TEST(NetworkDeviceTest, BandwidthPacesTransfers) {
+  // 10 MB/s: moving 1 MB beyond the burst allowance must take close to
+  // the modeled wire time. The burst is 2% of bandwidth (20ms worth),
+  // so transfer well past it.
+  const double bandwidth = 10e6;
+  NetworkDevice nic(NicSpec::TokenBucketLimit(bandwidth));
+  const uint64_t total = 1 << 20;  // 1 MiB
+  const double modeled_s = total / bandwidth;
+  EXPECT_TRUE(EventuallyTrue([&] {
+    const int64_t t0 = WallNanos();
+    for (int i = 0; i < 16; ++i) nic.Transfer(total / 16);
+    const double took_s = (WallNanos() - t0) * 1e-9;
+    // The burst bucket forgives up to 20ms of the wire time.
+    return took_s >= modeled_s - 0.03;
+  }));
+  EXPECT_EQ(nic.total_bytes(), total);
+}
+
+TEST(NetworkDeviceTest, LatencyChargedPerTransfer) {
+  NicSpec spec = NicSpec::Unlimited();
+  spec.latency_s = 5e-3;
+  NetworkDevice nic(spec);
+  EXPECT_TRUE(EventuallyTrue([&] {
+    const int64_t t0 = WallNanos();
+    for (int i = 0; i < 4; ++i) nic.Transfer(1);
+    const double took_s = (WallNanos() - t0) * 1e-9;
+    return took_s >= 4 * 5e-3 - 1e-3;
+  }));
+}
+
+TEST(NetworkDeviceTest, SetBandwidthRetargetsTheBucket) {
+  NetworkDevice nic(NicSpec::TokenBucketLimit(1e6));
+  nic.SetBandwidth(0);  // unlimited now
+  const int64_t t0 = WallNanos();
+  nic.Transfer(100 << 20);  // would take >100s at 1 MB/s
+  EXPECT_LT((WallNanos() - t0) * 1e-9, 5.0);
+}
+
+}  // namespace
+}  // namespace plumber
